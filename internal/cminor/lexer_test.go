@@ -1,0 +1,113 @@
+package cminor
+
+import "testing"
+
+func TestTokenizeBasics(t *testing.T) {
+	toks, errs := Tokenize("int x = 42; double y = 3.5e2;")
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	want := []TokenKind{KwInt, IDENT, ASSIGN, INTLIT, SEMI,
+		KwDouble, IDENT, ASSIGN, FLOATLIT, SEMI, EOF}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	src := "+= -= *= /= %= ++ -- == != <= >= && || ! < > = + - * / %"
+	want := []TokenKind{ADDASSIGN, SUBASSIGN, MULASSIGN, DIVASSIGN, MODASSIGN,
+		INC, DEC, EQ, NEQ, LEQ, GEQ, ANDAND, OROR, NOT, LT, GT, ASSIGN,
+		PLUS, MINUS, STAR, SLASH, PERCENT, EOF}
+	toks, errs := Tokenize(src)
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(want))
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestTokenizePragma(t *testing.T) {
+	toks, errs := Tokenize("#pragma omp parallel for num_threads(8)\nint x;")
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if toks[0].Kind != PRAGMA {
+		t.Fatalf("expected PRAGMA, got %s", toks[0])
+	}
+	if toks[0].Text != "omp parallel for num_threads(8)" {
+		t.Errorf("pragma text = %q", toks[0].Text)
+	}
+}
+
+func TestTokenizeSkipsOtherDirectives(t *testing.T) {
+	toks, errs := Tokenize("#include <stdio.h>\n#define N 10\nint x;")
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if toks[0].Kind != KwInt {
+		t.Fatalf("expected int keyword first, got %s", toks[0])
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	toks, errs := Tokenize("int /* block */ x; // line\ndouble y;")
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	var kinds []TokenKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+	}
+	want := []TokenKind{KwInt, IDENT, SEMI, KwDouble, IDENT, SEMI, EOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestTokenizePositions(t *testing.T) {
+	toks, _ := Tokenize("int\nx;")
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 1 {
+		t.Errorf("x position = %s, want 2:1", toks[1].Pos)
+	}
+}
+
+func TestTokenizeFloatForms(t *testing.T) {
+	cases := map[string]TokenKind{
+		"1":     INTLIT,
+		"1.5":   FLOATLIT,
+		".5":    FLOATLIT,
+		"2e3":   FLOATLIT,
+		"2.5e3": FLOATLIT,
+		"1f":    FLOATLIT,
+		"10L":   INTLIT,
+	}
+	for src, want := range cases {
+		toks, errs := Tokenize(src)
+		if len(errs) != 0 {
+			t.Errorf("%q: errors %v", src, errs)
+			continue
+		}
+		if toks[0].Kind != want {
+			t.Errorf("%q: got %s, want %s", src, toks[0].Kind, want)
+		}
+	}
+}
+
+func TestTokenizeUnterminatedComment(t *testing.T) {
+	_, errs := Tokenize("int x; /* never closed")
+	if len(errs) == 0 {
+		t.Fatal("expected an error for unterminated comment")
+	}
+}

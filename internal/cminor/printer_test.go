@@ -1,0 +1,89 @@
+package cminor
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPrintRoundTrip(t *testing.T) {
+	f := MustParse("axpy.c", miniKernel)
+	out := Print(f)
+	// The printed source must re-parse to a file with the same shape.
+	f2, err := Parse("axpy2.c", out)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\nsource:\n%s", err, out)
+	}
+	if len(f2.Funcs) != len(f.Funcs) {
+		t.Fatalf("func count changed: %d -> %d", len(f.Funcs), len(f2.Funcs))
+	}
+	if LogicalLOC(f) != LogicalLOC(f2) {
+		t.Errorf("LOC changed across round trip: %d -> %d", LogicalLOC(f), LogicalLOC(f2))
+	}
+}
+
+func TestPrintContainsPragma(t *testing.T) {
+	f := MustParse("axpy.c", miniKernel)
+	out := Print(f)
+	if !strings.Contains(out, "#pragma omp parallel for num_threads(NT) proc_bind(close)") {
+		t.Errorf("pragma missing from output:\n%s", out)
+	}
+}
+
+func TestPrintFuncPragmas(t *testing.T) {
+	f := MustParse("t.c", "void f() { return; }")
+	fn := f.Func("f")
+	fn.Pragmas = append(fn.Pragmas, &Pragma{Text: `GCC optimize ("O2")`})
+	out := PrintFunc(fn)
+	if !strings.HasPrefix(out, "#pragma GCC optimize") {
+		t.Errorf("GCC pragma should precede the function:\n%s", out)
+	}
+}
+
+func TestLogicalLOCCounting(t *testing.T) {
+	src := `
+void f(int n, double a[n]) {
+  int i;
+  for (i = 0; i < n; i++) {
+    a[i] = 0.0;
+  }
+}
+`
+	f := MustParse("t.c", src)
+	// signature(1) + decl(1) + for(1) + assign(1) = 4
+	if got := LogicalLOC(f); got != 4 {
+		t.Errorf("LOC = %d, want 4", got)
+	}
+}
+
+func TestLogicalLOCCountsPragmas(t *testing.T) {
+	f := MustParse("axpy.c", miniKernel)
+	// signature + decl + pragma + for + assign = 5
+	if got := LogicalLOC(f); got != 5 {
+		t.Errorf("LOC = %d, want 5", got)
+	}
+}
+
+func TestLogicalLOCIfElse(t *testing.T) {
+	src := `
+int f(int a) {
+  if (a > 0) {
+    return 1;
+  } else {
+    return 0;
+  }
+}
+`
+	f := MustParse("t.c", src)
+	// signature + if + 2 returns = 4
+	if got := LogicalLOC(f); got != 4 {
+		t.Errorf("LOC = %d, want 4", got)
+	}
+}
+
+func TestExprStringPrecedenceParens(t *testing.T) {
+	f := MustParse("t.c", "void f(int a, int b, double z[4]) { z[0] = (a + b) * 2; }")
+	out := Print(f)
+	if !strings.Contains(out, "(a + b) * 2") {
+		t.Errorf("parens lost: %s", out)
+	}
+}
