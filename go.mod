@@ -1,0 +1,3 @@
+module socrates
+
+go 1.24

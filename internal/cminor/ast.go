@@ -210,12 +210,13 @@ type Block struct {
 }
 
 // DeclStmt declares a single variable (comma declarations are split by
-// the parser).
+// the parser). Ref is filled in by the resolver.
 type DeclStmt struct {
 	Name string
 	Type *Type
 	Init Expr
 	P    Pos
+	Ref  VarRef
 }
 
 // ExprStmt evaluates an expression for its side effects.
@@ -288,10 +289,51 @@ type Expr interface {
 	exprNode()
 }
 
-// Ident is a variable reference.
+// VarKind classifies what a resolved identifier refers to and which slot
+// space of the execution frame holds it.
+type VarKind uint8
+
+// Variable kinds assigned by the resolver.
+const (
+	VarUnresolved   VarKind = iota
+	VarScalar               // by-value scalar in the frame's scalar slots
+	VarCell                 // pointer scalar sharing a caller-owned cell
+	VarArray                // array in the frame's array slots
+	VarGlobalScalar         // scalar in the interpreter's global store
+	VarGlobalArray          // array in the interpreter's global store
+)
+
+// String names the variable kind.
+func (k VarKind) String() string {
+	switch k {
+	case VarScalar:
+		return "scalar"
+	case VarCell:
+		return "pointer scalar"
+	case VarArray:
+		return "array"
+	case VarGlobalScalar:
+		return "global scalar"
+	case VarGlobalArray:
+		return "global array"
+	}
+	return "unresolved"
+}
+
+// VarRef is a resolved slot reference: the storage class of a variable
+// plus its index within that class's slot space. The resolver annotates
+// Ident and DeclStmt nodes with VarRefs so the compiler can lower every
+// access to an array-indexed frame read instead of a map lookup.
+type VarRef struct {
+	Kind VarKind
+	Slot int
+}
+
+// Ident is a variable reference. Ref is filled in by the resolver.
 type Ident struct {
 	Name string
 	P    Pos
+	Ref  VarRef
 }
 
 // IntLit is an integer literal.
@@ -347,11 +389,13 @@ type IndexExpr struct {
 	P   Pos
 }
 
-// CallExpr is a function call by name.
+// CallExpr is a function call by name. RBuiltin is set by the resolver
+// when Fun names one of the math builtins rather than a user function.
 type CallExpr struct {
-	Fun  string
-	Args []Expr
-	P    Pos
+	Fun      string
+	Args     []Expr
+	P        Pos
+	RBuiltin bool
 }
 
 // CondExpr is the ternary operator c ? t : f.
@@ -407,6 +451,7 @@ func CloneExpr(e Expr) Expr {
 		return nil
 	case *Ident:
 		c := *e
+		c.Ref = VarRef{} // clones start unannotated; Compile re-resolves
 		return &c
 	case *IntLit:
 		c := *e

@@ -1,0 +1,168 @@
+package cminor
+
+import "testing"
+
+// Benchmarks comparing the original tree-walking interpreter (Walker)
+// against the compiled resolve → compile → execute pipeline (Interp) on
+// representative Polybench-shaped kernels. Run with:
+//
+//	go test ./internal/cminor -bench . -benchmem
+//
+// The step budget is lifted so long benchmark runs never trip the
+// runaway guard.
+
+const benchGemmSrc = `
+void gemm(int n, double alpha, double beta, double A[n][n], double B[n][n], double C[n][n]) {
+  int i, j, k;
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      C[i][j] = C[i][j] * beta;
+      for (k = 0; k < n; k++) {
+        C[i][j] += alpha * A[i][k] * B[k][j];
+      }
+    }
+  }
+}
+`
+
+const benchJacobiSrc = `
+void jacobi(int n, int steps, double A[n][n], double B[n][n]) {
+  int t, i, j;
+  for (t = 0; t < steps; t++) {
+    for (i = 1; i < n - 1; i++) {
+      for (j = 1; j < n - 1; j++) {
+        B[i][j] = 0.2 * (A[i][j] + A[i][j - 1] + A[i][j + 1] + A[i - 1][j] + A[i + 1][j]);
+      }
+    }
+    for (i = 1; i < n - 1; i++) {
+      for (j = 1; j < n - 1; j++) {
+        A[i][j] = B[i][j];
+      }
+    }
+  }
+}
+`
+
+const benchAxpySrc = `
+void axpy(int n, double alpha, double x[n], double y[n]) {
+  int i;
+  for (i = 0; i < n; i++) {
+    y[i] = y[i] + alpha * x[i];
+  }
+}
+`
+
+func benchMatrix(n int) *Array {
+	a := NewArray(n, n)
+	for i := range a.Data {
+		a.Data[i] = float64(i%13) * 0.37
+	}
+	return a
+}
+
+func benchVector(n int) *Array {
+	a := NewArray(n)
+	for i := range a.Data {
+		a.Data[i] = float64(i%7) * 1.1
+	}
+	return a
+}
+
+func benchGemmArgs(n int) []any {
+	return []any{IntV(int64(n)), FloatV(1.5), FloatV(0.5),
+		benchMatrix(n), benchMatrix(n), benchMatrix(n)}
+}
+
+func BenchmarkGemmWalker(b *testing.B) {
+	const n = 32
+	w := NewWalker(MustParse("gemm.c", benchGemmSrc))
+	w.MaxSteps = 1 << 62
+	args := benchGemmArgs(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Call("gemm", args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGemmCompiled(b *testing.B) {
+	const n = 32
+	in := NewInterp(MustParse("gemm.c", benchGemmSrc))
+	in.MaxSteps = 1 << 62
+	args := benchGemmArgs(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Call("gemm", args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchJacobiArgs(n int) []any {
+	return []any{IntV(int64(n)), IntV(4), benchMatrix(n), benchMatrix(n)}
+}
+
+func BenchmarkJacobiWalker(b *testing.B) {
+	const n = 48
+	w := NewWalker(MustParse("jacobi.c", benchJacobiSrc))
+	w.MaxSteps = 1 << 62
+	args := benchJacobiArgs(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Call("jacobi", args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJacobiCompiled(b *testing.B) {
+	const n = 48
+	in := NewInterp(MustParse("jacobi.c", benchJacobiSrc))
+	in.MaxSteps = 1 << 62
+	args := benchJacobiArgs(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Call("jacobi", args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAxpyWalker(b *testing.B) {
+	const n = 4096
+	w := NewWalker(MustParse("axpy.c", benchAxpySrc))
+	w.MaxSteps = 1 << 62
+	x, y := benchVector(n), benchVector(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Call("axpy", IntV(n), FloatV(2.0), x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAxpyCompiled(b *testing.B) {
+	const n = 4096
+	in := NewInterp(MustParse("axpy.c", benchAxpySrc))
+	in.MaxSteps = 1 << 62
+	x, y := benchVector(n), benchVector(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Call("axpy", IntV(n), FloatV(2.0), x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileGemm measures one-time pipeline cost (resolve +
+// closure lowering), which is paid once per program, not per call.
+func BenchmarkCompileGemm(b *testing.B) {
+	f := MustParse("gemm.c", benchGemmSrc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

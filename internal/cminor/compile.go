@@ -1,0 +1,875 @@
+package cminor
+
+import (
+	"fmt"
+	"math"
+)
+
+// The compiler is the second stage of the resolve → compile → execute
+// pipeline. It lowers each resolved function into a tree of closures
+// ("closure compilation"): operator dispatch, identifier binding and
+// subscript-chain shape are all decided once, at compile time, so the
+// execute stage performs only array-indexed frame accesses and direct
+// calls. Runtime faults (bad subscript, integer division by zero, step
+// budget) surface as positioned *Diag errors instead of crashes.
+
+// flow is the statement-level control-flow result.
+type flow uint8
+
+const (
+	flowNormal flow = iota
+	flowReturn
+)
+
+// evalFn is a compiled expression; stmtFn is a compiled statement.
+type evalFn func(fr *frame) Value
+type stmtFn func(fr *frame) flow
+
+// frame is the slot-indexed activation record of one compiled call. The
+// three slices are the storage classes assigned by the resolver; every
+// variable access is a constant-index load/store.
+type frame struct {
+	in      *Interp
+	scalars []Value
+	cells   []*Value
+	arrays  []*Array
+	ret     Value
+}
+
+// globalStore holds per-Interp storage for file-scope variables.
+type globalStore struct {
+	scalars []Value
+	arrays  []*Array
+}
+
+// compiledFunc pairs a function's resolver summary with its compiled
+// body. Bodies are filled in after all shells exist so (mutually)
+// recursive calls can capture the shell pointer.
+type compiledFunc struct {
+	info *FuncInfo
+	body stmtFn
+}
+
+// Program is a compiled C-minor translation unit, reusable across
+// interpreter instances.
+type Program struct {
+	res   *ResolvedFile
+	fname string
+	funcs map[string]*compiledFunc
+}
+
+// Compile resolves and lowers f. All diagnostics carry file:line:col.
+// Resolution annotates f in place (Ident.Ref, DeclStmt.Ref,
+// CallExpr.RBuiltin), so compiling the same *File from multiple
+// goroutines is not safe — Clone the file first when sharing.
+func Compile(f *File) (*Program, error) {
+	res, err := Resolve(f)
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{res: res, fname: f.Name, funcs: map[string]*compiledFunc{}}
+	for name, info := range res.Funcs {
+		p.funcs[name] = &compiledFunc{info: info}
+	}
+	for _, cf := range p.funcs {
+		c := &compiler{prog: p}
+		cf.body = c.block(cf.info.Decl.Body)
+	}
+	return p, nil
+}
+
+// newGlobals allocates and initialises a global store for one Interp.
+func (p *Program) newGlobals() *globalStore {
+	g := &globalStore{}
+	for _, gs := range p.res.Scalars {
+		g.scalars = append(g.scalars, gs.Init)
+	}
+	for _, ga := range p.res.Arrays {
+		g.arrays = append(g.arrays, NewArray(ga.Dims...))
+	}
+	return g
+}
+
+func newFrame(in *Interp, cf *compiledFunc) *frame {
+	return &frame{
+		in:      in,
+		scalars: make([]Value, cf.info.NumScalars),
+		cells:   make([]*Value, cf.info.NumCells),
+		arrays:  make([]*Array, cf.info.NumArrays),
+	}
+}
+
+// rtPanic raises a positioned runtime diagnostic; Interp.Call recovers it
+// into the returned error.
+func rtPanic(file string, p Pos, format string, args ...any) {
+	panic(diagf(file, p, format, args...))
+}
+
+type compiler struct {
+	prog *Program
+}
+
+// bug reports an internal inconsistency: the resolver accepted something
+// the compiler cannot lower. It should be unreachable.
+func (c *compiler) bug(p Pos, format string, args ...any) {
+	panic(fmt.Sprintf("cminor: internal: %s: %s", p, fmt.Sprintf(format, args...)))
+}
+
+// ---- statements ----
+
+func (c *compiler) block(b *Block) stmtFn {
+	stmts := make([]stmtFn, len(b.Stmts))
+	for i, s := range b.Stmts {
+		stmts[i] = c.stmt(s)
+	}
+	return func(fr *frame) flow {
+		for _, s := range stmts {
+			if f := s(fr); f != flowNormal {
+				return f
+			}
+		}
+		return flowNormal
+	}
+}
+
+func (c *compiler) stmt(s Stmt) stmtFn {
+	switch s := s.(type) {
+	case *Block:
+		inner := c.block(s)
+		return func(fr *frame) flow {
+			fr.in.step()
+			return inner(fr)
+		}
+	case *DeclStmt:
+		return c.declStmt(s)
+	case *ExprStmt:
+		x := c.expr(s.X)
+		return func(fr *frame) flow {
+			fr.in.step()
+			x(fr)
+			return flowNormal
+		}
+	case *ForStmt:
+		return c.forStmt(s)
+	case *WhileStmt:
+		cond := c.expr(s.Cond)
+		body := c.block(s.Body)
+		return func(fr *frame) flow {
+			fr.in.step()
+			for cond(fr).Bool() {
+				if f := body(fr); f != flowNormal {
+					return f
+				}
+				fr.in.step()
+			}
+			return flowNormal
+		}
+	case *IfStmt:
+		cond := c.expr(s.Cond)
+		then := c.block(s.Then)
+		var els stmtFn
+		if s.Else != nil {
+			els = c.stmt(s.Else)
+		}
+		return func(fr *frame) flow {
+			fr.in.step()
+			if cond(fr).Bool() {
+				return then(fr)
+			}
+			if els != nil {
+				return els(fr)
+			}
+			return flowNormal
+		}
+	case *ReturnStmt:
+		var x evalFn
+		if s.X != nil {
+			x = c.expr(s.X)
+		}
+		return func(fr *frame) flow {
+			fr.in.step()
+			if x != nil {
+				fr.ret = x(fr)
+			} else {
+				fr.ret = Value{}
+			}
+			return flowReturn
+		}
+	case *PragmaStmt:
+		return func(fr *frame) flow {
+			fr.in.step()
+			return flowNormal
+		}
+	}
+	c.bug(s.Pos(), "unsupported statement %T", s)
+	return nil
+}
+
+func (c *compiler) declStmt(s *DeclStmt) stmtFn {
+	if s.Type.IsArray() {
+		slot := s.Ref.Slot
+		if s.Ref.Kind != VarArray {
+			c.bug(s.P, "array decl %q resolved as %s", s.Name, s.Ref.Kind)
+		}
+		// Constant dimensions are folded at compile time; VLA-style dims
+		// ("double tmp[n]") are evaluated at declaration time.
+		if dims, ok := constDims(s.Type.Dims); ok {
+			return func(fr *frame) flow {
+				fr.in.step()
+				fr.arrays[slot] = NewArray(dims...)
+				return flowNormal
+			}
+		}
+		dimFns := make([]evalFn, len(s.Type.Dims))
+		for i, d := range s.Type.Dims {
+			dimFns[i] = c.expr(d)
+		}
+		return func(fr *frame) flow {
+			fr.in.step()
+			dims := make([]int, len(dimFns))
+			for i, df := range dimFns {
+				dims[i] = int(df(fr).Int())
+			}
+			fr.arrays[slot] = NewArray(dims...)
+			return flowNormal
+		}
+	}
+	slot := s.Ref.Slot
+	isInt := s.Type.Kind == Int
+	var init evalFn
+	if s.Init != nil {
+		init = c.expr(s.Init)
+	}
+	switch s.Ref.Kind {
+	case VarScalar:
+		return func(fr *frame) flow {
+			fr.in.step()
+			var v Value
+			if init != nil {
+				v = init(fr)
+			}
+			if isInt {
+				fr.scalars[slot] = IntV(v.Int())
+			} else {
+				fr.scalars[slot] = FloatV(v.Float())
+			}
+			return flowNormal
+		}
+	case VarCell:
+		// A local declared "double *p" gets a fresh cell.
+		return func(fr *frame) flow {
+			fr.in.step()
+			var v Value
+			if init != nil {
+				v = init(fr)
+			}
+			cell := convertKind(v, s.Type.Kind)
+			fr.cells[slot] = &cell
+			return flowNormal
+		}
+	}
+	c.bug(s.P, "scalar decl %q resolved as %s", s.Name, s.Ref.Kind)
+	return nil
+}
+
+func constDims(dims []Expr) ([]int, bool) {
+	out := make([]int, len(dims))
+	for i, d := range dims {
+		v, ok := constEval(d)
+		if !ok {
+			return nil, false
+		}
+		out[i] = int(v.Int())
+	}
+	return out, true
+}
+
+func (c *compiler) forStmt(s *ForStmt) stmtFn {
+	var init stmtFn
+	if s.Init != nil {
+		init = c.stmt(s.Init)
+	}
+	cond := evalFn(nil)
+	if s.Cond != nil {
+		cond = c.expr(s.Cond)
+	}
+	var post evalFn
+	if s.Post != nil {
+		post = c.expr(s.Post)
+	}
+	body := c.block(s.Body)
+	return func(fr *frame) flow {
+		fr.in.step()
+		if init != nil {
+			if f := init(fr); f != flowNormal {
+				return f
+			}
+		}
+		for cond == nil || cond(fr).Bool() {
+			if f := body(fr); f != flowNormal {
+				return f
+			}
+			if post != nil {
+				post(fr)
+			}
+			fr.in.step()
+		}
+		return flowNormal
+	}
+}
+
+// ---- expressions ----
+
+func (c *compiler) expr(e Expr) evalFn {
+	switch e := e.(type) {
+	case *IntLit:
+		v := IntV(e.V)
+		return func(*frame) Value { return v }
+	case *FloatLit:
+		v := FloatV(e.V)
+		return func(*frame) Value { return v }
+	case *Ident:
+		return c.identLoad(e)
+	case *ParenExpr:
+		return c.expr(e.X)
+	case *CastExpr:
+		x := c.expr(e.X)
+		if e.To.Kind == Int {
+			return func(fr *frame) Value { return IntV(x(fr).Int()) }
+		}
+		return func(fr *frame) Value { return FloatV(x(fr).Float()) }
+	case *UnExpr:
+		x := c.expr(e.X)
+		switch e.Op {
+		case MINUS:
+			return func(fr *frame) Value {
+				v := x(fr)
+				if v.IsInt {
+					return IntV(-v.I)
+				}
+				return FloatV(-v.F)
+			}
+		case NOT:
+			return func(fr *frame) Value {
+				if x(fr).Bool() {
+					return IntV(0)
+				}
+				return IntV(1)
+			}
+		}
+		c.bug(e.P, "unsupported unary op %s", e.Op)
+	case *BinExpr:
+		return c.bin(e)
+	case *CondExpr:
+		cond := c.expr(e.Cond)
+		then := c.expr(e.Then)
+		els := c.expr(e.Else)
+		return func(fr *frame) Value {
+			if cond(fr).Bool() {
+				return then(fr)
+			}
+			return els(fr)
+		}
+	case *IndexExpr:
+		elem := c.elemFn(e)
+		return func(fr *frame) Value {
+			a, off := elem(fr)
+			return FloatV(a.Data[off])
+		}
+	case *AssignExpr:
+		return c.assign(e)
+	case *IncDecExpr:
+		return c.incDec(e)
+	case *CallExpr:
+		return c.call(e)
+	}
+	c.bug(e.Pos(), "unsupported expression %T", e)
+	return nil
+}
+
+// identLoad compiles a scalar variable read to a direct slot access.
+func (c *compiler) identLoad(e *Ident) evalFn {
+	slot := e.Ref.Slot
+	switch e.Ref.Kind {
+	case VarScalar:
+		return func(fr *frame) Value { return fr.scalars[slot] }
+	case VarCell:
+		return func(fr *frame) Value { return *fr.cells[slot] }
+	case VarGlobalScalar:
+		return func(fr *frame) Value { return fr.in.g.scalars[slot] }
+	}
+	c.bug(e.P, "%q (%s) read as a scalar", e.Name, e.Ref.Kind)
+	return nil
+}
+
+// cellRef compiles an addressable scalar variable to a cell accessor.
+func (c *compiler) cellRef(e *Ident) func(fr *frame) *Value {
+	slot := e.Ref.Slot
+	switch e.Ref.Kind {
+	case VarScalar:
+		return func(fr *frame) *Value { return &fr.scalars[slot] }
+	case VarCell:
+		return func(fr *frame) *Value { return fr.cells[slot] }
+	case VarGlobalScalar:
+		return func(fr *frame) *Value { return &fr.in.g.scalars[slot] }
+	}
+	c.bug(e.P, "%q (%s) used as a scalar cell", e.Name, e.Ref.Kind)
+	return nil
+}
+
+// arrayRef compiles an array variable to an accessor for its *Array.
+func (c *compiler) arrayRef(e *Ident) func(fr *frame) *Array {
+	slot := e.Ref.Slot
+	switch e.Ref.Kind {
+	case VarArray:
+		return func(fr *frame) *Array { return fr.arrays[slot] }
+	case VarGlobalArray:
+		return func(fr *frame) *Array { return fr.in.g.arrays[slot] }
+	}
+	c.bug(e.P, "%q (%s) used as an array", e.Name, e.Ref.Kind)
+	return nil
+}
+
+// elemFn compiles a full subscript chain to an (array, flat offset)
+// accessor with bounds checks. Rank 1 and 2 — the shapes Polybench
+// kernels live in — get unrolled fast paths.
+func (c *compiler) elemFn(e *IndexExpr) func(fr *frame) (*Array, int) {
+	root, subs := splitIndexChain(e)
+	if root == nil {
+		c.bug(e.P, "indexed expression is not a variable")
+	}
+	arrGet := c.arrayRef(root)
+	file := c.prog.fname
+	pos := e.P
+	idxFns := make([]evalFn, len(subs))
+	for i, sx := range subs {
+		idxFns[i] = c.expr(sx)
+	}
+	switch len(idxFns) {
+	case 1:
+		i0 := idxFns[0]
+		return func(fr *frame) (*Array, int) {
+			a := arrGet(fr)
+			if len(a.Dims) != 1 {
+				rtPanic(file, pos, "array rank %d indexed with 1 subscript", len(a.Dims))
+			}
+			i := int(i0(fr).Int())
+			if uint(i) >= uint(a.Dims[0]) {
+				rtPanic(file, pos, "index %d out of range [0,%d)", i, a.Dims[0])
+			}
+			return a, i
+		}
+	case 2:
+		i0, i1 := idxFns[0], idxFns[1]
+		return func(fr *frame) (*Array, int) {
+			a := arrGet(fr)
+			if len(a.Dims) != 2 {
+				rtPanic(file, pos, "array rank %d indexed with 2 subscripts", len(a.Dims))
+			}
+			i := int(i0(fr).Int())
+			j := int(i1(fr).Int())
+			if uint(i) >= uint(a.Dims[0]) {
+				rtPanic(file, pos, "index %d out of range [0,%d) in dim 0", i, a.Dims[0])
+			}
+			if uint(j) >= uint(a.Dims[1]) {
+				rtPanic(file, pos, "index %d out of range [0,%d) in dim 1", j, a.Dims[1])
+			}
+			return a, i*a.Dims[1] + j
+		}
+	default:
+		return func(fr *frame) (*Array, int) {
+			a := arrGet(fr)
+			if len(a.Dims) != len(idxFns) {
+				rtPanic(file, pos, "array rank %d indexed with %d subscripts",
+					len(a.Dims), len(idxFns))
+			}
+			off := 0
+			for k, fn := range idxFns {
+				i := int(fn(fr).Int())
+				if uint(i) >= uint(a.Dims[k]) {
+					rtPanic(file, pos, "index %d out of range [0,%d) in dim %d", i, a.Dims[k], k)
+				}
+				off = off*a.Dims[k] + i
+			}
+			return a, off
+		}
+	}
+}
+
+func boolV(b bool) Value {
+	if b {
+		return IntV(1)
+	}
+	return IntV(0)
+}
+
+// compoundBase maps compound-assignment operators to their arithmetic op.
+func compoundBase(op TokenKind) (TokenKind, bool) {
+	switch op {
+	case ADDASSIGN:
+		return PLUS, true
+	case SUBASSIGN:
+		return MINUS, true
+	case MULASSIGN:
+		return STAR, true
+	case DIVASSIGN:
+		return SLASH, true
+	case MODASSIGN:
+		return PERCENT, true
+	}
+	return 0, false
+}
+
+// valueOp builds a two-operand arithmetic/comparison function with the
+// operator dispatch resolved at compile time. Division faults report the
+// given source position.
+func (c *compiler) valueOp(op TokenKind, p Pos) func(Value, Value) Value {
+	file := c.prog.fname
+	switch op {
+	case PLUS:
+		return func(x, y Value) Value {
+			if x.IsInt && y.IsInt {
+				return IntV(x.I + y.I)
+			}
+			return FloatV(x.Float() + y.Float())
+		}
+	case MINUS:
+		return func(x, y Value) Value {
+			if x.IsInt && y.IsInt {
+				return IntV(x.I - y.I)
+			}
+			return FloatV(x.Float() - y.Float())
+		}
+	case STAR:
+		return func(x, y Value) Value {
+			if x.IsInt && y.IsInt {
+				return IntV(x.I * y.I)
+			}
+			return FloatV(x.Float() * y.Float())
+		}
+	case SLASH:
+		return func(x, y Value) Value {
+			if x.IsInt && y.IsInt {
+				if y.I == 0 {
+					rtPanic(file, p, "integer division by zero")
+				}
+				return IntV(x.I / y.I)
+			}
+			return FloatV(x.Float() / y.Float())
+		}
+	case PERCENT:
+		return func(x, y Value) Value {
+			if x.IsInt && y.IsInt {
+				if y.I == 0 {
+					rtPanic(file, p, "integer modulo by zero")
+				}
+				return IntV(x.I % y.I)
+			}
+			return FloatV(math.Mod(x.Float(), y.Float()))
+		}
+	case EQ:
+		return func(x, y Value) Value {
+			if x.IsInt && y.IsInt {
+				return boolV(x.I == y.I)
+			}
+			return boolV(x.Float() == y.Float())
+		}
+	case NEQ:
+		return func(x, y Value) Value {
+			if x.IsInt && y.IsInt {
+				return boolV(x.I != y.I)
+			}
+			return boolV(x.Float() != y.Float())
+		}
+	case LT:
+		return func(x, y Value) Value {
+			if x.IsInt && y.IsInt {
+				return boolV(x.I < y.I)
+			}
+			return boolV(x.Float() < y.Float())
+		}
+	case GT:
+		return func(x, y Value) Value {
+			if x.IsInt && y.IsInt {
+				return boolV(x.I > y.I)
+			}
+			return boolV(x.Float() > y.Float())
+		}
+	case LEQ:
+		return func(x, y Value) Value {
+			if x.IsInt && y.IsInt {
+				return boolV(x.I <= y.I)
+			}
+			return boolV(x.Float() <= y.Float())
+		}
+	case GEQ:
+		return func(x, y Value) Value {
+			if x.IsInt && y.IsInt {
+				return boolV(x.I >= y.I)
+			}
+			return boolV(x.Float() >= y.Float())
+		}
+	}
+	c.bug(p, "unsupported binary op %s", op)
+	return nil
+}
+
+func (c *compiler) bin(e *BinExpr) evalFn {
+	switch e.Op {
+	case ANDAND:
+		x, y := c.expr(e.X), c.expr(e.Y)
+		return func(fr *frame) Value {
+			if !x(fr).Bool() {
+				return IntV(0)
+			}
+			if y(fr).Bool() {
+				return IntV(1)
+			}
+			return IntV(0)
+		}
+	case OROR:
+		x, y := c.expr(e.X), c.expr(e.Y)
+		return func(fr *frame) Value {
+			if x(fr).Bool() || y(fr).Bool() {
+				return IntV(1)
+			}
+			return IntV(0)
+		}
+	}
+	x, y := c.expr(e.X), c.expr(e.Y)
+	op := c.valueOp(e.Op, e.P)
+	return func(fr *frame) Value { return op(x(fr), y(fr)) }
+}
+
+func (c *compiler) assign(e *AssignExpr) evalFn {
+	rhs := c.expr(e.RHS)
+	// Array-element target.
+	if ix, ok := stripParens(e.LHS).(*IndexExpr); ok {
+		elem := c.elemFn(ix)
+		if e.Op == ASSIGN {
+			return func(fr *frame) Value {
+				// Match the tree-walker's evaluation order: RHS first,
+				// then the target subscripts.
+				nv := rhs(fr)
+				a, off := elem(fr)
+				a.Data[off] = nv.Float()
+				return nv
+			}
+		}
+		base, ok := compoundBase(e.Op)
+		if !ok {
+			c.bug(e.P, "unsupported assignment op %s", e.Op)
+		}
+		op := c.valueOp(base, e.P)
+		return func(fr *frame) Value {
+			v := rhs(fr)
+			a, off := elem(fr)
+			nv := op(FloatV(a.Data[off]), v)
+			a.Data[off] = nv.Float()
+			return nv
+		}
+	}
+	// Scalar target.
+	id, ok := stripParens(e.LHS).(*Ident)
+	if !ok {
+		c.bug(e.LHS.Pos(), "invalid assignment target %T", e.LHS)
+	}
+	cell := c.cellRef(id)
+	if e.Op == ASSIGN {
+		return func(fr *frame) Value {
+			nv := rhs(fr)
+			cl := cell(fr)
+			if cl.IsInt {
+				nv = IntV(nv.Int())
+			}
+			*cl = nv
+			return nv
+		}
+	}
+	base, ok := compoundBase(e.Op)
+	if !ok {
+		c.bug(e.P, "unsupported assignment op %s", e.Op)
+	}
+	op := c.valueOp(base, e.P)
+	return func(fr *frame) Value {
+		v := rhs(fr)
+		cl := cell(fr)
+		nv := op(*cl, v)
+		if cl.IsInt {
+			nv = IntV(nv.Int())
+		}
+		*cl = nv
+		return nv
+	}
+}
+
+func (c *compiler) incDec(e *IncDecExpr) evalFn {
+	inc := e.Op == INC
+	if ix, ok := stripParens(e.X).(*IndexExpr); ok {
+		elem := c.elemFn(ix)
+		return func(fr *frame) Value {
+			a, off := elem(fr)
+			old := a.Data[off]
+			if inc {
+				a.Data[off] = old + 1
+			} else {
+				a.Data[off] = old - 1
+			}
+			return FloatV(old)
+		}
+	}
+	id, ok := stripParens(e.X).(*Ident)
+	if !ok {
+		c.bug(e.X.Pos(), "invalid %s target %T", e.Op, e.X)
+	}
+	cell := c.cellRef(id)
+	return func(fr *frame) Value {
+		cl := cell(fr)
+		old := *cl
+		if cl.IsInt {
+			if inc {
+				cl.I++
+			} else {
+				cl.I--
+			}
+		} else {
+			if inc {
+				cl.F++
+			} else {
+				cl.F--
+			}
+		}
+		return old
+	}
+}
+
+func stripParens(e Expr) Expr {
+	for {
+		pe, ok := e.(*ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}
+
+// argBinder copies one evaluated argument from the caller's frame into
+// the callee's.
+type argBinder func(caller, callee *frame)
+
+func (c *compiler) call(e *CallExpr) evalFn {
+	if e.RBuiltin {
+		return c.builtinCall(e)
+	}
+	cf := c.prog.funcs[e.Fun]
+	if cf == nil {
+		c.bug(e.P, "call to unresolved function %q", e.Fun)
+	}
+	binders := make([]argBinder, len(e.Args))
+	for i, a := range e.Args {
+		p := cf.info.Decl.Params[i]
+		ref := cf.info.Params[i]
+		switch ref.Kind {
+		case VarArray:
+			id, _ := stripArg(a)
+			if id == nil {
+				c.bug(a.Pos(), "array argument is not a variable")
+			}
+			src := c.arrayRef(id)
+			slot := ref.Slot
+			binders[i] = func(caller, callee *frame) { callee.arrays[slot] = src(caller) }
+		case VarCell:
+			id, _ := stripArg(a)
+			if id == nil {
+				c.bug(a.Pos(), "pointer argument is not a variable")
+			}
+			src := c.cellRef(id)
+			slot := ref.Slot
+			binders[i] = func(caller, callee *frame) { callee.cells[slot] = src(caller) }
+		default:
+			v := c.expr(a)
+			slot := ref.Slot
+			isInt := p.Type.Kind == Int
+			binders[i] = func(caller, callee *frame) {
+				val := v(caller)
+				if isInt {
+					callee.scalars[slot] = IntV(val.Int())
+				} else {
+					callee.scalars[slot] = FloatV(val.Float())
+				}
+			}
+		}
+	}
+	return func(fr *frame) Value {
+		callee := newFrame(fr.in, cf)
+		for _, bind := range binders {
+			bind(fr, callee)
+		}
+		cf.body(callee)
+		return callee.ret
+	}
+}
+
+// builtinCall lowers a math-builtin call to a direct typed closure — no
+// argument slice, so builtins in inner loops stay allocation-free.
+func (c *compiler) builtinCall(e *CallExpr) evalFn {
+	argFns := make([]evalFn, len(e.Args))
+	for i, a := range e.Args {
+		argFns[i] = c.expr(a)
+	}
+	switch e.Fun {
+	case "sqrt":
+		a0 := argFns[0]
+		return func(fr *frame) Value { return FloatV(math.Sqrt(a0(fr).Float())) }
+	case "fabs":
+		a0 := argFns[0]
+		return func(fr *frame) Value { return FloatV(math.Abs(a0(fr).Float())) }
+	case "pow":
+		a0, a1 := argFns[0], argFns[1]
+		return func(fr *frame) Value { return FloatV(math.Pow(a0(fr).Float(), a1(fr).Float())) }
+	case "exp":
+		a0 := argFns[0]
+		return func(fr *frame) Value { return FloatV(math.Exp(a0(fr).Float())) }
+	case "log":
+		a0 := argFns[0]
+		return func(fr *frame) Value { return FloatV(math.Log(a0(fr).Float())) }
+	case "floor":
+		a0 := argFns[0]
+		return func(fr *frame) Value { return FloatV(math.Floor(a0(fr).Float())) }
+	case "ceil":
+		a0 := argFns[0]
+		return func(fr *frame) Value { return FloatV(math.Ceil(a0(fr).Float())) }
+	}
+	// Fallback for any future builtin without a fast path.
+	bf := builtins[e.Fun]
+	if bf == nil {
+		c.bug(e.P, "unknown builtin %q", e.Fun)
+	}
+	return func(fr *frame) Value {
+		args := make([]Value, len(argFns))
+		for i, fn := range argFns {
+			args[i] = fn(fr)
+		}
+		return bf(args)
+	}
+}
+
+// stripArg unwraps parentheses and a leading & from a call argument,
+// returning the root identifier (nil when there is none).
+func stripArg(a Expr) (*Ident, Expr) {
+	for {
+		switch x := a.(type) {
+		case *ParenExpr:
+			a = x.X
+			continue
+		case *UnExpr:
+			if x.Op == AMP {
+				a = x.X
+				continue
+			}
+		}
+		break
+	}
+	id, _ := a.(*Ident)
+	return id, a
+}

@@ -1,0 +1,461 @@
+package cminor
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// engine abstracts the two execution backends so parity cases run the
+// exact same call against each.
+type engine interface {
+	Call(name string, args ...any) (Value, error)
+}
+
+// parityCase is one golden differential test: build fresh arguments, run
+// the named function, and expose every output array for comparison.
+type parityCase struct {
+	name string
+	src  string
+	fn   string
+	// args builds a fresh argument list (arrays are per-engine so
+	// mutations don't leak across backends).
+	args func() []any
+}
+
+func axpyArgs() []any {
+	n := 8
+	x, y := NewArray(n), NewArray(n)
+	for i := 0; i < n; i++ {
+		x.Set(float64(i)*1.25, i)
+		y.Set(1.0/float64(i+1), i)
+	}
+	return []any{IntV(int64(n)), FloatV(2.5), x, y}
+}
+
+var parityCases = []parityCase{
+	{"axpy", miniKernel, "kernel_axpy", axpyArgs},
+	{
+		"matmul",
+		`void matmul(int n, double A[n][n], double B[n][n], double C[n][n]) {
+  int i, j, k;
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      C[i][j] = 0.0;
+      for (k = 0; k < n; k++) {
+        C[i][j] += A[i][k] * B[k][j];
+      }
+    }
+  }
+}`,
+		"matmul",
+		func() []any {
+			n := 5
+			A, B, C := NewArray(n, n), NewArray(n, n), NewArray(n, n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					A.Set(float64(i+j)/3.0, i, j)
+					B.Set(float64(i*j+1)*0.7, i, j)
+				}
+			}
+			return []any{IntV(int64(n)), A, B, C}
+		},
+	},
+	{
+		"int-division", "int f(int a, int b) { return a / b - a % b; }", "f",
+		func() []any { return []any{IntV(-17), IntV(5)} },
+	},
+	{
+		"ternary-max", "double f(double a, double b) { return a >= b ? a : b; }", "f",
+		func() []any { return []any{FloatV(2.5), FloatV(9.0)} },
+	},
+	{
+		"builtins",
+		`double f(double x) { return sqrt(x) + fabs(0.0 - x) + pow(x, 2.0) + exp(x) + log(x) + floor(x) + ceil(x); }`,
+		"f",
+		func() []any { return []any{FloatV(1.75)} },
+	},
+	{
+		"nested-call",
+		`double square(double x) { return x * x; }
+double f(double x) { return square(x) + square(2.0); }`,
+		"f",
+		func() []any { return []any{FloatV(3.0)} },
+	},
+	{
+		"array-by-reference",
+		`void fill(int n, double a[n], double v) {
+  int i;
+  for (i = 0; i < n; i++) { a[i] = v; }
+}
+void f(int n, double a[n]) { fill(n, a, 7.0); }`,
+		"f",
+		func() []any { return []any{IntV(3), NewArray(3)} },
+	},
+	{
+		"while-compound",
+		`int f(int n) {
+  int s = 0;
+  int i = 0;
+  while (i < n) {
+    s += i;
+    i++;
+  }
+  return s;
+}`,
+		"f",
+		func() []any { return []any{IntV(10)} },
+	},
+	{
+		"local-vla",
+		`double f(int n) {
+  double tmp[n];
+  int i;
+  double s = 0.0;
+  for (i = 0; i < n; i++) { tmp[i] = (double)i * 1.5; }
+  for (i = 0; i < n; i++) { s += tmp[i]; }
+  return s;
+}`,
+		"f",
+		func() []any { return []any{IntV(6)} },
+	},
+	{
+		"incdec",
+		`int f() {
+  int i = 5;
+  int a = i++;
+  int b = i--;
+  return a * 100 + b * 10 + i;
+}`,
+		"f",
+		func() []any { return []any{} },
+	},
+	{
+		"incdec-array",
+		`void f(int n, double a[n]) {
+  int i;
+  for (i = 0; i < n; i++) { a[i]++; }
+  a[0]--;
+}`,
+		"f",
+		func() []any {
+			a := NewArray(4)
+			for i := 0; i < 4; i++ {
+				a.Set(float64(i)*0.5, i)
+			}
+			return []any{IntV(4), a}
+		},
+	},
+	{
+		"compound-array-ops",
+		`void f(int n, double a[n]) {
+  int i;
+  for (i = 0; i < n; i++) {
+    a[i] += 1.5;
+    a[i] *= 2.0;
+    a[i] -= 0.25;
+    a[i] /= 3.0;
+  }
+}`,
+		"f",
+		func() []any {
+			a := NewArray(5)
+			for i := 0; i < 5; i++ {
+				a.Set(float64(i*i), i)
+			}
+			return []any{IntV(5), a}
+		},
+	},
+	{
+		"logic-and-not",
+		`int f(int a, int b) {
+  int r = 0;
+  if (a > 0 && b > 0) { r = r + 1; }
+  if (a > 0 || b > 0) { r = r + 2; }
+  if (!a) { r = r + 4; }
+  return r;
+}`,
+		"f",
+		func() []any { return []any{IntV(0), IntV(3)} },
+	},
+	{
+		"pointer-out-param",
+		`void mean(int n, double a[n], double *out) {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < n; i++) { s += a[i]; }
+  out = s / n;
+}
+void f(int n, double a[n], double *out) { mean(n, a, out); }`,
+		"f",
+		func() []any {
+			a := NewArray(4)
+			for i := 0; i < 4; i++ {
+				a.Set(float64(i+1), i)
+			}
+			out := FloatV(0)
+			return []any{IntV(4), a, &out}
+		},
+	},
+	{
+		"address-of-local",
+		`void bump(double *p) { p = p + 1.0; }
+double f() {
+  double x = 41.0;
+  bump(&x);
+  return x;
+}`,
+		"f",
+		func() []any { return []any{} },
+	},
+	{
+		"stencil",
+		`void jacobi(int n, int steps, double A[n][n], double B[n][n]) {
+  int t, i, j;
+  for (t = 0; t < steps; t++) {
+    for (i = 1; i < n - 1; i++) {
+      for (j = 1; j < n - 1; j++) {
+        B[i][j] = 0.2 * (A[i][j] + A[i][j - 1] + A[i][j + 1] + A[i - 1][j] + A[i + 1][j]);
+      }
+    }
+    for (i = 1; i < n - 1; i++) {
+      for (j = 1; j < n - 1; j++) {
+        A[i][j] = B[i][j];
+      }
+    }
+  }
+}`,
+		"jacobi",
+		func() []any {
+			n := 8
+			A, B := NewArray(n, n), NewArray(n, n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					A.Set(float64(i*n+j)/7.0, i, j)
+				}
+			}
+			return []any{IntV(int64(n)), IntV(3), A, B}
+		},
+	},
+	{
+		"mixed-int-float-assign",
+		`double f(double z) {
+  double s = 0.0;
+  s = 1;
+  s += 0.5;
+  int k = 3.9;
+  return s + k + z;
+}`,
+		"f",
+		func() []any { return []any{FloatV(0.25)} },
+	},
+	{
+		"cast-and-negate",
+		`double f(int a) { return (double)(0 - a) / 4 + (int)2.75; }`,
+		"f",
+		func() []any { return []any{IntV(7)} },
+	},
+}
+
+func sameValue(a, b Value) bool {
+	if a.IsInt != b.IsInt {
+		return false
+	}
+	if a.IsInt {
+		return a.I == b.I
+	}
+	return math.Float64bits(a.F) == math.Float64bits(b.F)
+}
+
+// TestCompiledParityWithWalker runs every golden program through both the
+// tree-walker and the compiled pipeline and requires bit-identical
+// results: same returned Value and same bits in every array argument.
+func TestCompiledParityWithWalker(t *testing.T) {
+	for _, tc := range parityCases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := MustParse("t.c", tc.src)
+			wArgs, cArgs := tc.args(), tc.args()
+			wv, werr := NewWalker(f).Call(tc.fn, wArgs...)
+			cv, cerr := NewInterp(f).Call(tc.fn, cArgs...)
+			if (werr == nil) != (cerr == nil) {
+				t.Fatalf("error divergence: walker=%v compiled=%v", werr, cerr)
+			}
+			if werr != nil {
+				return
+			}
+			if !sameValue(wv, cv) {
+				t.Fatalf("return value divergence: walker=%+v compiled=%+v", wv, cv)
+			}
+			for i := range wArgs {
+				wa, ok := wArgs[i].(*Array)
+				if !ok {
+					if wp, isPtr := wArgs[i].(*Value); isPtr {
+						cp := cArgs[i].(*Value)
+						if !sameValue(*wp, *cp) {
+							t.Errorf("out-param %d divergence: walker=%+v compiled=%+v", i, *wp, *cp)
+						}
+					}
+					continue
+				}
+				ca := cArgs[i].(*Array)
+				for k := range wa.Data {
+					if math.Float64bits(wa.Data[k]) != math.Float64bits(ca.Data[k]) {
+						t.Fatalf("array arg %d diverges at flat index %d: walker=%g compiled=%g",
+							i, k, wa.Data[k], ca.Data[k])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestCompiledOutOfBoundsPositioned(t *testing.T) {
+	src := "void f(int n, double a[n]) {\n  a[n] = 1.0;\n}"
+	in := NewInterp(MustParse("oob.c", src))
+	_, err := in.Call("f", IntV(3), NewArray(3))
+	if err == nil {
+		t.Fatal("expected out-of-bounds error")
+	}
+	if !strings.Contains(err.Error(), "oob.c:2:") {
+		t.Errorf("error should carry file:line position, got %q", err)
+	}
+}
+
+func TestCompiledDivByZeroPositioned(t *testing.T) {
+	in := NewInterp(MustParse("div.c", "int f(int a) { return 1 / a; }"))
+	_, err := in.Call("f", IntV(0))
+	if err == nil {
+		t.Fatal("expected division-by-zero error")
+	}
+	if !strings.Contains(err.Error(), "div.c:1:") {
+		t.Errorf("error should carry file:line position, got %q", err)
+	}
+}
+
+func TestCompiledGlobals(t *testing.T) {
+	src := `
+int scale = 3;
+double acc[4];
+void f(int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    acc[i] = (double)(i * scale);
+  }
+  scale = scale + 1;
+}
+double get(int i) { return acc[i]; }
+`
+	in := NewInterp(MustParse("g.c", src))
+	if _, err := in.Call("f", IntV(4)); err != nil {
+		t.Fatal(err)
+	}
+	// Globals persist across calls: the second call sees scale == 4.
+	if _, err := in.Call("f", IntV(4)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		v, err := in.Call("get", IntV(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := float64(i * 4); v.Float() != want {
+			t.Errorf("acc[%d] = %g, want %g", i, v.Float(), want)
+		}
+	}
+}
+
+func TestCompiledGlobalPersistence(t *testing.T) {
+	src := `
+int counter = 0;
+int next() {
+  counter = counter + 1;
+  return counter;
+}
+`
+	in := NewInterp(MustParse("g.c", src))
+	for want := int64(1); want <= 3; want++ {
+		v, err := in.Call("next")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Int() != want {
+			t.Fatalf("next() = %d, want %d", v.Int(), want)
+		}
+	}
+	// A fresh Interp over the same program starts from scratch.
+	prog, err := Compile(MustParse("g.c", src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2 := prog.NewInterp()
+	v, err := in2.Call("next")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int() != 1 {
+		t.Errorf("fresh interp next() = %d, want 1", v.Int())
+	}
+}
+
+func TestCompiledRuntimePanicBecomesError(t *testing.T) {
+	// A VLA so large that allocation faults must surface as an error
+	// from Call, never a process crash (the historical contract).
+	src := "void f(int n) {\n  double t[n][n];\n  t[0][0] = 1.0;\n}"
+	in := NewInterp(MustParse("big.c", src))
+	_, err := in.Call("f", IntV(1<<31))
+	if err == nil {
+		t.Fatal("expected an allocation error")
+	}
+	if !strings.Contains(err.Error(), "interpreting f") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestCompiledPtrValueToByValueParamCopiesBack(t *testing.T) {
+	// The old interpreter shared the cell when a *Value was bound to a
+	// by-value scalar parameter; the compiled pipeline copies the slot
+	// back on return. Both engines must leave the caller's cell equal.
+	src := "int bump(int n) {\n  n = n + 1;\n  return n;\n}"
+	f := MustParse("t.c", src)
+	wv, cv := IntV(5), IntV(5)
+	if _, err := NewWalker(f).Call("bump", &wv); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewInterp(f).Call("bump", &cv); err != nil {
+		t.Fatal(err)
+	}
+	if !sameValue(wv, cv) {
+		t.Fatalf("caller cell divergence: walker=%+v compiled=%+v", wv, cv)
+	}
+	if cv.Int() != 6 {
+		t.Errorf("caller cell = %d, want 6 (shared-cell semantics)", cv.Int())
+	}
+	// Kind-mismatched *Value args are shared unconverted, like the old
+	// interpreter: a FloatV reaching an int parameter stays a float.
+	idSrc := "int id(int n) { return n; }"
+	fid := MustParse("t.c", idSrc)
+	wf, cf := FloatV(2.5), FloatV(2.5)
+	wr, err := NewWalker(fid).Call("id", &wf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := NewInterp(fid).Call("id", &cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameValue(wr, cr) || !sameValue(wf, cf) {
+		t.Errorf("kind-mismatch divergence: walker ret=%+v cell=%+v, compiled ret=%+v cell=%+v",
+			wr, wf, cr, cf)
+	}
+}
+
+func TestCompileErrorDeferredToCall(t *testing.T) {
+	in := NewInterp(MustParse("bad.c", "void f() { x = 1; }"))
+	_, err := in.Call("f")
+	if err == nil {
+		t.Fatal("expected resolve error from Call")
+	}
+	if !strings.Contains(err.Error(), "undeclared identifier") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}

@@ -1,0 +1,60 @@
+package cminor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Diag is a positioned diagnostic produced by the lexer, parser, resolver
+// or the compiled executor. It implements error and renders as
+// "file:line:col: message" so a bad kernel points at the offending source
+// location instead of crashing the process.
+type Diag struct {
+	File string
+	P    Pos
+	Msg  string
+}
+
+// Error renders the diagnostic with its source position.
+func (d *Diag) Error() string {
+	if d.File == "" {
+		if d.P == (Pos{}) {
+			return d.Msg
+		}
+		return fmt.Sprintf("%s: %s", d.P, d.Msg)
+	}
+	if d.P == (Pos{}) {
+		return fmt.Sprintf("%s: %s", d.File, d.Msg)
+	}
+	return fmt.Sprintf("%s:%s: %s", d.File, d.P, d.Msg)
+}
+
+// diagf builds a Diag with a formatted message.
+func diagf(file string, p Pos, format string, args ...any) *Diag {
+	return &Diag{File: file, P: p, Msg: fmt.Sprintf(format, args...)}
+}
+
+// DiagList is an ordered collection of diagnostics. A non-empty list
+// implements error; use Err to convert a possibly-empty list into a
+// nil-able error value.
+type DiagList []*Diag
+
+// Error renders every diagnostic on its own line.
+func (dl DiagList) Error() string {
+	if len(dl) == 0 {
+		return "no diagnostics"
+	}
+	parts := make([]string, len(dl))
+	for i, d := range dl {
+		parts[i] = d.Error()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// Err returns the list as an error, or nil when the list is empty.
+func (dl DiagList) Err() error {
+	if len(dl) == 0 {
+		return nil
+	}
+	return dl
+}

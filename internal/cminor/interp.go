@@ -1,587 +1,134 @@
 package cminor
 
-import (
-	"fmt"
-	"math"
-)
+import "fmt"
 
-// Value is a scalar runtime value with C-style int/double typing.
-type Value struct {
-	IsInt bool
-	I     int64
-	F     float64
-}
-
-// IntV makes an int Value.
-func IntV(i int64) Value { return Value{IsInt: true, I: i} }
-
-// FloatV makes a double Value.
-func FloatV(f float64) Value { return Value{F: f} }
-
-// Float returns the value as float64 regardless of its static type.
-func (v Value) Float() float64 {
-	if v.IsInt {
-		return float64(v.I)
-	}
-	return v.F
-}
-
-// Int returns the value as int64, truncating doubles (C cast semantics).
-func (v Value) Int() int64 {
-	if v.IsInt {
-		return v.I
-	}
-	return int64(v.F)
-}
-
-// Bool applies C truthiness.
-func (v Value) Bool() bool {
-	if v.IsInt {
-		return v.I != 0
-	}
-	return v.F != 0
-}
-
-// Array is a dense row-major multi-dimensional array of doubles (ints are
-// stored as doubles; Polybench kernels only index with int scalars).
-type Array struct {
-	Dims []int
-	Data []float64
-}
-
-// NewArray allocates a zeroed array with the given dimensions.
-func NewArray(dims ...int) *Array {
-	n := 1
-	for _, d := range dims {
-		if d <= 0 {
-			n = 0
-			break
-		}
-		n *= d
-	}
-	return &Array{Dims: append([]int(nil), dims...), Data: make([]float64, n)}
-}
-
-// At reads the element at the given index vector.
-func (a *Array) At(idx ...int) float64 { return a.Data[a.offset(idx)] }
-
-// Set writes the element at the given index vector.
-func (a *Array) Set(v float64, idx ...int) { a.Data[a.offset(idx)] = v }
-
-func (a *Array) offset(idx []int) int {
-	if len(idx) != len(a.Dims) {
-		panic(fmt.Sprintf("cminor: array rank %d indexed with %d subscripts",
-			len(a.Dims), len(idx)))
-	}
-	off := 0
-	for k, i := range idx {
-		if i < 0 || i >= a.Dims[k] {
-			panic(fmt.Sprintf("cminor: index %d out of range [0,%d) in dim %d",
-				i, a.Dims[k], k))
-		}
-		off = off*a.Dims[k] + i
-	}
-	return off
-}
-
-type binding struct {
-	scalar *Value
-	arr    *Array
-}
-
-type frame struct {
-	vars map[string]*binding
-}
-
-func (fr *frame) lookup(name string) (*binding, bool) {
-	b, ok := fr.vars[name]
-	return b, ok
-}
-
-// Interp is a reference interpreter for C-minor files. It exists to
-// validate that the embedded Polybench sources compute the same results
-// as the pure-Go reference kernels; the performance simulation never
-// interprets code.
+// Interp executes C-minor files through the compiled pipeline: the file
+// is resolved (identifiers bound to slots, arity/rank checked) and
+// lowered to closure-compiled evaluators once, then every Call runs over
+// slot-indexed frames with no per-variable map lookups. The public
+// surface (NewInterp, Call, Value, Array) is unchanged from the original
+// tree-walking interpreter; Walker retains those semantics for
+// differential testing.
 type Interp struct {
-	file  *File
-	funcs map[string]*FuncDecl
+	prog *Program
+	err  error
+	g    *globalStore
 	// Steps counts executed statements, as a cheap runaway guard.
 	Steps    int
 	MaxSteps int
 }
 
-// NewInterp builds an interpreter over f.
+// NewInterp compiles f and returns an interpreter over it. Compilation
+// diagnostics (undeclared identifiers, rank/arity mismatches, ...) are
+// deferred to the first Call so the constructor keeps its historical
+// signature; use Compile directly to observe them eagerly. Compilation
+// annotates f in place (see Compile), so don't share one *File across
+// concurrent NewInterp calls without cloning.
 func NewInterp(f *File) *Interp {
-	in := &Interp{file: f, funcs: map[string]*FuncDecl{}, MaxSteps: 500_000_000}
-	for _, fn := range f.Funcs {
-		if fn.Body != nil {
-			in.funcs[fn.Name] = fn
-		}
+	in := &Interp{MaxSteps: 500_000_000}
+	prog, err := Compile(f)
+	if err != nil {
+		in.err = err
+		return in
 	}
+	in.prog = prog
+	in.g = prog.newGlobals()
 	return in
 }
 
-type returnSignal struct{ v Value }
-
-// Call invokes the named function. Args must be *Array for array
-// parameters, Value for scalar parameters, and *Value for pointer
-// parameters (shared cell).
-func (in *Interp) Call(name string, args ...any) (v Value, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			if rs, ok := r.(returnSignal); ok {
-				v = rs.v
-				return
-			}
-			err = fmt.Errorf("cminor: interpreting %s: %v", name, r)
-		}
-	}()
-	fn, ok := in.funcs[name]
-	if !ok {
-		return Value{}, fmt.Errorf("cminor: no function %q", name)
-	}
-	if len(args) != len(fn.Params) {
-		return Value{}, fmt.Errorf("cminor: %s expects %d args, got %d",
-			name, len(fn.Params), len(args))
-	}
-	fr := &frame{vars: map[string]*binding{}}
-	for i, p := range fn.Params {
-		switch a := args[i].(type) {
-		case *Array:
-			fr.vars[p.Name] = &binding{arr: a}
-		case Value:
-			val := a
-			if p.Type.Kind == Int {
-				val = IntV(a.Int())
-			} else {
-				val = FloatV(a.Float())
-			}
-			fr.vars[p.Name] = &binding{scalar: &val}
-		case *Value:
-			fr.vars[p.Name] = &binding{scalar: a}
-		case int:
-			val := IntV(int64(a))
-			fr.vars[p.Name] = &binding{scalar: &val}
-		case float64:
-			val := FloatV(a)
-			fr.vars[p.Name] = &binding{scalar: &val}
-		default:
-			return Value{}, fmt.Errorf("cminor: unsupported argument type %T for %s", a, p.Name)
-		}
-	}
-	in.execBlock(fn.Body, fr)
-	return Value{}, nil
+// NewInterp builds an interpreter sharing this compiled program. Each
+// interpreter owns its global-variable storage and step budget.
+func (p *Program) NewInterp() *Interp {
+	return &Interp{prog: p, g: p.newGlobals(), MaxSteps: 500_000_000}
 }
 
 func (in *Interp) step() {
 	in.Steps++
 	if in.Steps > in.MaxSteps {
-		panic("interpreter step budget exceeded")
+		panic(&Diag{Msg: "interpreter step budget exceeded"})
 	}
 }
 
-func (in *Interp) execBlock(b *Block, fr *frame) {
-	for _, s := range b.Stmts {
-		in.exec(s, fr)
+// Call invokes the named function. Args must be *Array for array
+// parameters, Value (or int/float64) for scalar parameters, and *Value
+// for pointer parameters (shared cell). Runtime faults — bad subscript,
+// integer division by zero, step budget — are returned as positioned
+// errors rather than crashing.
+func (in *Interp) Call(name string, args ...any) (v Value, err error) {
+	if in.err != nil {
+		return Value{}, in.err
 	}
-}
-
-func (in *Interp) exec(s Stmt, fr *frame) {
-	in.step()
-	switch s := s.(type) {
-	case *Block:
-		in.execBlock(s, fr)
-	case *DeclStmt:
-		if s.Type.IsArray() {
-			dims := make([]int, len(s.Type.Dims))
-			for i, d := range s.Type.Dims {
-				dims[i] = int(in.eval(d, fr).Int())
-			}
-			fr.vars[s.Name] = &binding{arr: NewArray(dims...)}
-			return
-		}
-		var v Value
-		if s.Init != nil {
-			v = in.eval(s.Init, fr)
-		}
-		if s.Type.Kind == Int {
-			v = IntV(v.Int())
-		} else {
-			v = FloatV(v.Float())
-		}
-		fr.vars[s.Name] = &binding{scalar: &v}
-	case *ExprStmt:
-		in.eval(s.X, fr)
-	case *ForStmt:
-		if s.Init != nil {
-			in.exec(s.Init, fr)
-		}
-		for s.Cond == nil || in.eval(s.Cond, fr).Bool() {
-			in.execBlock(s.Body, fr)
-			if s.Post != nil {
-				in.eval(s.Post, fr)
-			}
-			in.step()
-		}
-	case *WhileStmt:
-		for in.eval(s.Cond, fr).Bool() {
-			in.execBlock(s.Body, fr)
-			in.step()
-		}
-	case *IfStmt:
-		if in.eval(s.Cond, fr).Bool() {
-			in.execBlock(s.Then, fr)
-		} else if s.Else != nil {
-			in.exec(s.Else, fr)
-		}
-	case *ReturnStmt:
-		var v Value
-		if s.X != nil {
-			v = in.eval(s.X, fr)
-		}
-		panic(returnSignal{v: v})
-	case *PragmaStmt:
-		// Pragmas have no interpretation-time effect.
-	}
-}
-
-// lvalue resolution: returns either a scalar cell or an array+index.
-func (in *Interp) lvalue(e Expr, fr *frame) (cell *Value, arr *Array, idx []int) {
-	switch e := e.(type) {
-	case *Ident:
-		b, ok := fr.lookup(e.Name)
-		if !ok {
-			panic(fmt.Sprintf("undefined variable %q", e.Name))
-		}
-		if b.arr != nil {
-			return nil, b.arr, nil
-		}
-		return b.scalar, nil, nil
-	case *ParenExpr:
-		return in.lvalue(e.X, fr)
-	case *IndexExpr:
-		// Collect the subscript chain.
-		var subs []Expr
-		cur := Expr(e)
-		for {
-			ix, ok := cur.(*IndexExpr)
-			if !ok {
-				break
-			}
-			subs = append([]Expr{ix.Idx}, subs...)
-			cur = ix.X
-		}
-		id, ok := cur.(*Ident)
-		if !ok {
-			panic("indexed expression is not a variable")
-		}
-		b, ok := fr.lookup(id.Name)
-		if !ok || b.arr == nil {
-			panic(fmt.Sprintf("%q is not an array", id.Name))
-		}
-		idx = make([]int, len(subs))
-		for i, sx := range subs {
-			idx[i] = int(in.eval(sx, fr).Int())
-		}
-		return nil, b.arr, idx
-	case *UnExpr:
-		if e.Op == AMP {
-			return in.lvalue(e.X, fr)
-		}
-	}
-	panic(fmt.Sprintf("invalid lvalue %T", e))
-}
-
-func (in *Interp) eval(e Expr, fr *frame) Value {
-	switch e := e.(type) {
-	case *Ident:
-		b, ok := fr.lookup(e.Name)
-		if !ok {
-			panic(fmt.Sprintf("undefined variable %q", e.Name))
-		}
-		if b.scalar == nil {
-			panic(fmt.Sprintf("array %q used as scalar", e.Name))
-		}
-		return *b.scalar
-	case *IntLit:
-		return IntV(e.V)
-	case *FloatLit:
-		return FloatV(e.V)
-	case *ParenExpr:
-		return in.eval(e.X, fr)
-	case *CastExpr:
-		v := in.eval(e.X, fr)
-		if e.To.Kind == Int {
-			return IntV(v.Int())
-		}
-		return FloatV(v.Float())
-	case *UnExpr:
-		v := in.eval(e.X, fr)
-		switch e.Op {
-		case MINUS:
-			if v.IsInt {
-				return IntV(-v.I)
-			}
-			return FloatV(-v.F)
-		case NOT:
-			if v.Bool() {
-				return IntV(0)
-			}
-			return IntV(1)
-		}
-		panic(fmt.Sprintf("unsupported unary op %s", e.Op))
-	case *BinExpr:
-		return in.evalBin(e, fr)
-	case *CondExpr:
-		if in.eval(e.Cond, fr).Bool() {
-			return in.eval(e.Then, fr)
-		}
-		return in.eval(e.Else, fr)
-	case *IndexExpr:
-		_, arr, idx := in.lvalue(e, fr)
-		if idx == nil {
-			panic("array value used without full subscripts")
-		}
-		return FloatV(arr.At(idx...))
-	case *AssignExpr:
-		rhs := in.eval(e.RHS, fr)
-		cell, arr, idx := in.lvalue(e.LHS, fr)
-		if arr != nil {
-			old := FloatV(arr.At(idx...))
-			nv := applyCompound(e.Op, old, rhs)
-			arr.Set(nv.Float(), idx...)
-			return nv
-		}
-		nv := applyCompound(e.Op, *cell, rhs)
-		if cell.IsInt {
-			nv = IntV(nv.Int())
-		}
-		*cell = nv
-		return nv
-	case *IncDecExpr:
-		cell, arr, idx := in.lvalue(e.X, fr)
-		if arr != nil {
-			old := arr.At(idx...)
-			if e.Op == INC {
-				arr.Set(old+1, idx...)
-			} else {
-				arr.Set(old-1, idx...)
-			}
-			return FloatV(old)
-		}
-		old := *cell
-		if cell.IsInt {
-			if e.Op == INC {
-				cell.I++
-			} else {
-				cell.I--
-			}
-		} else {
-			if e.Op == INC {
-				cell.F++
-			} else {
-				cell.F--
-			}
-		}
-		return old
-	case *CallExpr:
-		return in.call(e, fr)
-	}
-	panic(fmt.Sprintf("unsupported expression %T", e))
-}
-
-func applyCompound(op TokenKind, old, rhs Value) Value {
-	switch op {
-	case ASSIGN:
-		return rhs
-	case ADDASSIGN:
-		return arith(PLUS, old, rhs)
-	case SUBASSIGN:
-		return arith(MINUS, old, rhs)
-	case MULASSIGN:
-		return arith(STAR, old, rhs)
-	case DIVASSIGN:
-		return arith(SLASH, old, rhs)
-	case MODASSIGN:
-		return arith(PERCENT, old, rhs)
-	}
-	panic(fmt.Sprintf("unsupported assignment op %s", op))
-}
-
-func (in *Interp) evalBin(e *BinExpr, fr *frame) Value {
-	switch e.Op {
-	case ANDAND:
-		if !in.eval(e.X, fr).Bool() {
-			return IntV(0)
-		}
-		if in.eval(e.Y, fr).Bool() {
-			return IntV(1)
-		}
-		return IntV(0)
-	case OROR:
-		if in.eval(e.X, fr).Bool() {
-			return IntV(1)
-		}
-		if in.eval(e.Y, fr).Bool() {
-			return IntV(1)
-		}
-		return IntV(0)
-	}
-	x := in.eval(e.X, fr)
-	y := in.eval(e.Y, fr)
-	switch e.Op {
-	case PLUS, MINUS, STAR, SLASH, PERCENT:
-		return arith(e.Op, x, y)
-	case EQ, NEQ, LT, GT, LEQ, GEQ:
-		return compare(e.Op, x, y)
-	}
-	panic(fmt.Sprintf("unsupported binary op %s", e.Op))
-}
-
-func arith(op TokenKind, x, y Value) Value {
-	if x.IsInt && y.IsInt {
-		switch op {
-		case PLUS:
-			return IntV(x.I + y.I)
-		case MINUS:
-			return IntV(x.I - y.I)
-		case STAR:
-			return IntV(x.I * y.I)
-		case SLASH:
-			if y.I == 0 {
-				panic("integer division by zero")
-			}
-			return IntV(x.I / y.I)
-		case PERCENT:
-			if y.I == 0 {
-				panic("integer modulo by zero")
-			}
-			return IntV(x.I % y.I)
-		}
-	}
-	a, b := x.Float(), y.Float()
-	switch op {
-	case PLUS:
-		return FloatV(a + b)
-	case MINUS:
-		return FloatV(a - b)
-	case STAR:
-		return FloatV(a * b)
-	case SLASH:
-		return FloatV(a / b)
-	case PERCENT:
-		return FloatV(math.Mod(a, b))
-	}
-	panic(fmt.Sprintf("unsupported arithmetic op %s", op))
-}
-
-func compare(op TokenKind, x, y Value) Value {
-	var r bool
-	if x.IsInt && y.IsInt {
-		switch op {
-		case EQ:
-			r = x.I == y.I
-		case NEQ:
-			r = x.I != y.I
-		case LT:
-			r = x.I < y.I
-		case GT:
-			r = x.I > y.I
-		case LEQ:
-			r = x.I <= y.I
-		case GEQ:
-			r = x.I >= y.I
-		}
-	} else {
-		a, b := x.Float(), y.Float()
-		switch op {
-		case EQ:
-			r = a == b
-		case NEQ:
-			r = a != b
-		case LT:
-			r = a < b
-		case GT:
-			r = a > b
-		case LEQ:
-			r = a <= b
-		case GEQ:
-			r = a >= b
-		}
-	}
-	if r {
-		return IntV(1)
-	}
-	return IntV(0)
-}
-
-// builtin math functions available to kernels.
-var builtins = map[string]func(args []Value) Value{
-	"sqrt":  func(a []Value) Value { return FloatV(math.Sqrt(a[0].Float())) },
-	"fabs":  func(a []Value) Value { return FloatV(math.Abs(a[0].Float())) },
-	"pow":   func(a []Value) Value { return FloatV(math.Pow(a[0].Float(), a[1].Float())) },
-	"exp":   func(a []Value) Value { return FloatV(math.Exp(a[0].Float())) },
-	"log":   func(a []Value) Value { return FloatV(math.Log(a[0].Float())) },
-	"floor": func(a []Value) Value { return FloatV(math.Floor(a[0].Float())) },
-	"ceil":  func(a []Value) Value { return FloatV(math.Ceil(a[0].Float())) },
-}
-
-// IsBuiltin reports whether name is a known math builtin.
-func IsBuiltin(name string) bool {
-	_, ok := builtins[name]
-	return ok
-}
-
-func (in *Interp) call(e *CallExpr, fr *frame) Value {
-	if bf, ok := builtins[e.Fun]; ok {
-		args := make([]Value, len(e.Args))
-		for i, a := range e.Args {
-			args[i] = in.eval(a, fr)
-		}
-		return bf(args)
-	}
-	fn, ok := in.funcs[e.Fun]
+	cf, ok := in.prog.funcs[name]
 	if !ok {
-		panic(fmt.Sprintf("call to undefined function %q", e.Fun))
+		return Value{}, fmt.Errorf("cminor: no function %q", name)
 	}
-	if len(e.Args) != len(fn.Params) {
-		panic(fmt.Sprintf("%s expects %d args, got %d", e.Fun, len(fn.Params), len(e.Args)))
+	params := cf.info.Decl.Params
+	if len(args) != len(params) {
+		return Value{}, fmt.Errorf("cminor: %s expects %d args, got %d",
+			name, len(params), len(args))
 	}
-	callee := &frame{vars: map[string]*binding{}}
-	for i, p := range fn.Params {
-		if p.Type.IsArray() {
-			_, arr, _ := in.lvalue(e.Args[i], fr)
-			if arr == nil {
-				panic(fmt.Sprintf("argument %d of %s must be an array", i, e.Fun))
+	fr := newFrame(in, cf)
+	// copybacks approximate the historical shared-cell behaviour of
+	// *Value arguments bound to by-value scalar parameters: the raw
+	// Value is copied in and copied back when the call finishes (or
+	// faults). Caveat vs the old interpreter: passing the same *Value
+	// for two by-value parameters no longer aliases them to one cell.
+	var copybacks []func()
+	for i, p := range params {
+		ref := cf.info.Params[i]
+		if arr, isArr := args[i].(*Array); isArr || ref.Kind == VarArray {
+			if !isArr || ref.Kind != VarArray {
+				return Value{}, fmt.Errorf("cminor: %s: array/parameter mismatch for %s", name, p.Name)
 			}
-			callee.vars[p.Name] = &binding{arr: arr}
+			fr.arrays[ref.Slot] = arr
 			continue
 		}
-		if p.Type.Ptr {
-			cell, _, _ := in.lvalue(e.Args[i], fr)
-			callee.vars[p.Name] = &binding{scalar: cell}
-			continue
-		}
-		v := in.eval(e.Args[i], fr)
-		if p.Type.Kind == Int {
-			v = IntV(v.Int())
-		} else {
-			v = FloatV(v.Float())
-		}
-		callee.vars[p.Name] = &binding{scalar: &v}
-	}
-	ret := Value{}
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				if rs, ok := r.(returnSignal); ok {
-					ret = rs.v
-					return
-				}
-				panic(r)
+		switch a := args[i].(type) {
+		case *Value:
+			if ref.Kind == VarCell {
+				fr.cells[ref.Slot] = a
+			} else {
+				// The historical interpreter shared the cell unconverted;
+				// copy the raw Value in and back out to match.
+				fr.scalars[ref.Slot] = *a
+				slot, dst := ref.Slot, a
+				copybacks = append(copybacks, func() { *dst = fr.scalars[slot] })
 			}
-		}()
-		in.execBlock(fn.Body, callee)
+		case Value:
+			in.bindScalar(fr, ref, convertKind(a, p.Type.Kind))
+		case int:
+			in.bindScalar(fr, ref, IntV(int64(a)))
+		case float64:
+			in.bindScalar(fr, ref, FloatV(a))
+		default:
+			return Value{}, fmt.Errorf("cminor: unsupported argument type %T for %s", a, p.Name)
+		}
+	}
+	defer func() {
+		for _, cb := range copybacks {
+			cb()
+		}
+		if r := recover(); r != nil {
+			if d, isDiag := r.(*Diag); isDiag {
+				err = fmt.Errorf("cminor: interpreting %s: %w", name, d)
+				return
+			}
+			// Preserve the historical contract: any runtime fault in a
+			// kernel surfaces as an error, never a process crash.
+			err = fmt.Errorf("cminor: interpreting %s: %v", name, r)
+		}
 	}()
-	return ret
+	cf.body(fr)
+	return fr.ret, nil
+}
+
+// bindScalar places a by-value scalar argument into the frame, boxing a
+// fresh cell when the parameter was declared as a pointer.
+func (in *Interp) bindScalar(fr *frame, ref VarRef, v Value) {
+	if ref.Kind == VarCell {
+		cell := v
+		fr.cells[ref.Slot] = &cell
+		return
+	}
+	fr.scalars[ref.Slot] = v
 }

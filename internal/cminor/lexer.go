@@ -1,17 +1,15 @@
 package cminor
 
-import (
-	"fmt"
-	"strings"
-)
+import "strings"
 
 // Lexer turns C-minor source text into a token stream.
 type Lexer struct {
-	src  string
-	off  int
-	line int
-	col  int
-	errs []error
+	src   string
+	file  string
+	off   int
+	line  int
+	col   int
+	diags DiagList
 }
 
 // NewLexer returns a lexer over src.
@@ -19,11 +17,17 @@ func NewLexer(src string) *Lexer {
 	return &Lexer{src: src, line: 1, col: 1}
 }
 
-// Errors reports lexical errors accumulated so far.
-func (lx *Lexer) Errors() []error { return lx.errs }
+// NewFileLexer returns a lexer over src whose diagnostics carry the given
+// file name.
+func NewFileLexer(file, src string) *Lexer {
+	return &Lexer{src: src, file: file, line: 1, col: 1}
+}
+
+// Errors reports the positioned lexical diagnostics accumulated so far.
+func (lx *Lexer) Errors() DiagList { return lx.diags }
 
 func (lx *Lexer) errorf(p Pos, format string, args ...any) {
-	lx.errs = append(lx.errs, fmt.Errorf("%s: %s", p, fmt.Sprintf(format, args...)))
+	lx.diags = append(lx.diags, diagf(lx.file, p, format, args...))
 }
 
 func (lx *Lexer) peek() byte {
@@ -308,9 +312,14 @@ func (lx *Lexer) lexNumber(p Pos) Token {
 }
 
 // Tokenize lexes the whole input and returns the token slice (terminated
-// by an EOF token) plus any lexical errors.
-func Tokenize(src string) ([]Token, []error) {
-	lx := NewLexer(src)
+// by an EOF token) plus any lexical diagnostics.
+func Tokenize(src string) ([]Token, DiagList) {
+	return TokenizeFile("", src)
+}
+
+// TokenizeFile is Tokenize with a file name attached to diagnostics.
+func TokenizeFile(file, src string) ([]Token, DiagList) {
+	lx := NewFileLexer(file, src)
 	var toks []Token
 	for {
 		t := lx.Next()

@@ -1,29 +1,28 @@
 package cminor
 
-import (
-	"fmt"
-	"strconv"
-)
+import "strconv"
 
 // Parser builds a File from a token stream.
 type Parser struct {
-	toks []Token
-	pos  int
-	errs []error
-	name string
+	toks  []Token
+	pos   int
+	diags DiagList
+	name  string
 	// pending pragmas seen since the last statement/declaration; they
 	// attach to the next for-loop or function, or become PragmaStmts.
 	pending []*Pragma
 }
 
 // Parse parses a translation unit. name is used for positions/diagnostics.
+// On failure the returned error is a DiagList whose entries carry
+// file:line:col positions.
 func Parse(name, src string) (*File, error) {
-	toks, lerrs := Tokenize(src)
+	toks, lerrs := TokenizeFile(name, src)
 	p := &Parser{toks: toks, name: name}
-	p.errs = append(p.errs, lerrs...)
+	p.diags = append(p.diags, lerrs...)
 	f := p.parseFile()
-	if len(p.errs) > 0 {
-		return f, fmt.Errorf("%s: %d parse error(s), first: %w", name, len(p.errs), p.errs[0])
+	if len(p.diags) > 0 {
+		return f, p.diags
 	}
 	return f, nil
 }
@@ -38,7 +37,7 @@ func MustParse(name, src string) *File {
 	return f
 }
 
-func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) cur() Token { return p.toks[p.pos] }
 func (p *Parser) peek() Token {
 	if p.pos+1 < len(p.toks) {
 		return p.toks[p.pos+1]
@@ -73,8 +72,7 @@ func (p *Parser) expect(k TokenKind) Token {
 }
 
 func (p *Parser) errorf(format string, args ...any) {
-	p.errs = append(p.errs, fmt.Errorf("%s:%s: %s", p.name, p.cur().Pos,
-		fmt.Sprintf(format, args...)))
+	p.diags = append(p.diags, diagf(p.name, p.cur().Pos, format, args...))
 	// Simple panic-free recovery: skip one token so we make progress.
 	if !p.at(EOF) {
 		p.next()
@@ -437,7 +435,7 @@ func (p *Parser) parseBinary(minPrec int) Expr {
 
 func (p *Parser) parseUnary() Expr {
 	switch p.cur().Kind {
-	case MINUS, NOT, PLUS:
+	case MINUS, NOT, PLUS, AMP:
 		op := p.next()
 		x := p.parseUnary()
 		if op.Kind == PLUS {
@@ -502,14 +500,14 @@ func (p *Parser) parsePrimary() Expr {
 		p.next()
 		v, err := strconv.ParseInt(t.Text, 10, 64)
 		if err != nil {
-			p.errs = append(p.errs, fmt.Errorf("%s: bad int literal %q", t.Pos, t.Text))
+			p.diags = append(p.diags, diagf(p.name, t.Pos, "bad int literal %q", t.Text))
 		}
 		return &IntLit{V: v, P: t.Pos}
 	case FLOATLIT:
 		p.next()
 		v, err := strconv.ParseFloat(t.Text, 64)
 		if err != nil {
-			p.errs = append(p.errs, fmt.Errorf("%s: bad float literal %q", t.Pos, t.Text))
+			p.diags = append(p.diags, diagf(p.name, t.Pos, "bad float literal %q", t.Text))
 		}
 		return &FloatLit{V: v, Text: t.Text, P: t.Pos}
 	default:

@@ -1,0 +1,525 @@
+package cminor
+
+// The resolver is the first stage of the compiled execution pipeline
+// (resolve → compile → execute). It walks the AST exactly once, binds
+// every identifier to a numbered frame slot (annotating the AST with
+// VarRefs), checks arity/rank/lvalue rules, and evaluates constant array
+// dimensions, so the later stages never consult names or re-discover
+// structure inside loops.
+
+// FuncInfo is the resolver's summary of one function definition: the slot
+// counts that size its execution frame and the storage class of each
+// parameter.
+type FuncInfo struct {
+	Decl   *FuncDecl
+	Params []VarRef
+	// Slot-space sizes for a frame of this function.
+	NumScalars int
+	NumCells   int
+	NumArrays  int
+}
+
+// GlobalScalar describes a resolved file-scope scalar.
+type GlobalScalar struct {
+	Name string
+	Kind BasicKind
+	Init Value
+}
+
+// GlobalArray describes a resolved file-scope array with constant
+// dimensions.
+type GlobalArray struct {
+	Name string
+	Dims []int
+}
+
+// ResolvedFile is the output of Resolve: the (annotated) AST plus the
+// per-function and global slot tables the compiler lowers against.
+type ResolvedFile struct {
+	File    *File
+	Funcs   map[string]*FuncInfo
+	Scalars []GlobalScalar
+	Arrays  []GlobalArray
+}
+
+type symbol struct {
+	ref  VarRef
+	rank int
+	kind BasicKind
+}
+
+type resolver struct {
+	file   *File
+	diags  DiagList
+	scopes []map[string]*symbol
+	funcs  map[string]*FuncDecl // functions with bodies
+	cur    *FuncInfo
+}
+
+// Resolve semantically analyses f: every Ident/DeclStmt is annotated with
+// a VarRef, and undeclared identifiers, rank mismatches, call-arity
+// mismatches and invalid lvalues are reported as positioned diagnostics.
+func Resolve(f *File) (*ResolvedFile, error) {
+	r := &resolver{file: f, funcs: map[string]*FuncDecl{}}
+	res := &ResolvedFile{File: f, Funcs: map[string]*FuncInfo{}}
+	r.push() // module scope
+	for _, g := range f.Globals {
+		r.global(res, g)
+	}
+	for _, fn := range f.Funcs {
+		if fn.Body == nil {
+			continue
+		}
+		if _, dup := r.funcs[fn.Name]; dup {
+			r.errorf(fn.P, "function %q redefined", fn.Name)
+			continue
+		}
+		r.funcs[fn.Name] = fn
+	}
+	for _, fn := range f.Funcs {
+		if fn.Body == nil || r.funcs[fn.Name] != fn {
+			continue
+		}
+		res.Funcs[fn.Name] = r.function(fn)
+	}
+	if len(r.diags) > 0 {
+		return nil, r.diags
+	}
+	return res, nil
+}
+
+func (r *resolver) errorf(p Pos, format string, args ...any) {
+	r.diags = append(r.diags, diagf(r.file.Name, p, format, args...))
+}
+
+func (r *resolver) push()                   { r.scopes = append(r.scopes, map[string]*symbol{}) }
+func (r *resolver) pop()                    { r.scopes = r.scopes[:len(r.scopes)-1] }
+func (r *resolver) top() map[string]*symbol { return r.scopes[len(r.scopes)-1] }
+func (r *resolver) lookup(name string) *symbol {
+	for i := len(r.scopes) - 1; i >= 0; i-- {
+		if s, ok := r.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+// global resolves a file-scope declaration; array dimensions and scalar
+// initialisers must be constant expressions.
+func (r *resolver) global(res *ResolvedFile, g *DeclStmt) {
+	if _, exists := r.scopes[0][g.Name]; exists {
+		r.errorf(g.P, "global %q redeclared", g.Name)
+		return
+	}
+	if g.Type.IsArray() {
+		dims := make([]int, len(g.Type.Dims))
+		for i, d := range g.Type.Dims {
+			v, ok := constEval(d)
+			if !ok {
+				r.errorf(d.Pos(), "dimension %d of global array %q is not a constant expression",
+					i, g.Name)
+				continue
+			}
+			dims[i] = int(v.Int())
+		}
+		ref := VarRef{Kind: VarGlobalArray, Slot: len(res.Arrays)}
+		res.Arrays = append(res.Arrays, GlobalArray{Name: g.Name, Dims: dims})
+		g.Ref = ref
+		r.scopes[0][g.Name] = &symbol{ref: ref, rank: len(dims), kind: g.Type.Kind}
+		return
+	}
+	var init Value
+	if g.Init != nil {
+		v, ok := constEval(g.Init)
+		if !ok {
+			r.errorf(g.Init.Pos(), "initialiser of global %q is not a constant expression", g.Name)
+		} else {
+			init = v
+		}
+	}
+	ref := VarRef{Kind: VarGlobalScalar, Slot: len(res.Scalars)}
+	res.Scalars = append(res.Scalars, GlobalScalar{Name: g.Name, Kind: g.Type.Kind,
+		Init: convertKind(init, g.Type.Kind)})
+	g.Ref = ref
+	r.scopes[0][g.Name] = &symbol{ref: ref, kind: g.Type.Kind}
+}
+
+// alloc assigns the next free slot in the storage class selected by t.
+func (r *resolver) alloc(t *Type) VarRef {
+	switch {
+	case t.IsArray():
+		s := r.cur.NumArrays
+		r.cur.NumArrays++
+		return VarRef{Kind: VarArray, Slot: s}
+	case t.Ptr:
+		s := r.cur.NumCells
+		r.cur.NumCells++
+		return VarRef{Kind: VarCell, Slot: s}
+	default:
+		s := r.cur.NumScalars
+		r.cur.NumScalars++
+		return VarRef{Kind: VarScalar, Slot: s}
+	}
+}
+
+func (r *resolver) function(fn *FuncDecl) *FuncInfo {
+	info := &FuncInfo{Decl: fn}
+	r.cur = info
+	r.push()
+	for _, p := range fn.Params {
+		if _, dup := r.top()[p.Name]; dup {
+			r.errorf(p.P, "parameter %q duplicated in %s", p.Name, fn.Name)
+		}
+		ref := r.alloc(p.Type)
+		info.Params = append(info.Params, ref)
+		// Parameter array dimensions (e.g. "double A[n][n]") are
+		// documentation: the runtime Array carries its own dims, so the
+		// dimension expressions are deliberately not resolved — Polybench
+		// sources routinely spell them with preprocessor macros the lexer
+		// discards.
+		r.top()[p.Name] = &symbol{ref: ref, rank: len(p.Type.Dims), kind: p.Type.Kind}
+	}
+	r.block(fn.Body)
+	r.pop()
+	r.cur = nil
+	return info
+}
+
+func (r *resolver) block(b *Block) {
+	r.push()
+	for _, s := range b.Stmts {
+		r.stmt(s)
+	}
+	r.pop()
+}
+
+func (r *resolver) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *Block:
+		r.block(s)
+	case *DeclStmt:
+		r.decl(s)
+	case *ExprStmt:
+		r.expr(s.X)
+	case *ForStmt:
+		// The for-init declaration scopes over cond/post/body.
+		r.push()
+		if s.Init != nil {
+			r.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			r.expr(s.Cond)
+		}
+		if s.Post != nil {
+			r.expr(s.Post)
+		}
+		r.block(s.Body)
+		r.pop()
+	case *WhileStmt:
+		r.expr(s.Cond)
+		r.block(s.Body)
+	case *IfStmt:
+		r.expr(s.Cond)
+		r.block(s.Then)
+		if s.Else != nil {
+			r.stmt(s.Else)
+		}
+	case *ReturnStmt:
+		if s.X != nil {
+			r.expr(s.X)
+		}
+	case *PragmaStmt:
+		// No names to resolve.
+	}
+}
+
+func (r *resolver) decl(s *DeclStmt) {
+	if s.Type.IsArray() {
+		// Local array dimensions are ordinary expressions evaluated at
+		// declaration time (VLA-style, e.g. "double tmp[n]").
+		for _, d := range s.Type.Dims {
+			r.expr(d)
+		}
+	} else if s.Init != nil {
+		r.expr(s.Init)
+	}
+	ref := r.alloc(s.Type)
+	s.Ref = ref
+	r.top()[s.Name] = &symbol{ref: ref, rank: len(s.Type.Dims), kind: s.Type.Kind}
+}
+
+// expr resolves e in value context.
+func (r *resolver) expr(e Expr) {
+	switch e := e.(type) {
+	case nil:
+	case *IntLit, *FloatLit:
+	case *Ident:
+		sym := r.lookup(e.Name)
+		if sym == nil {
+			r.errorf(e.P, "undeclared identifier %q", e.Name)
+			return
+		}
+		e.Ref = sym.ref
+		if sym.ref.Kind == VarArray || sym.ref.Kind == VarGlobalArray {
+			r.errorf(e.P, "array %q used as a scalar value", e.Name)
+		}
+	case *ParenExpr:
+		r.expr(e.X)
+	case *CastExpr:
+		r.expr(e.X)
+	case *UnExpr:
+		if e.Op == AMP {
+			r.errorf(e.P, "address-of is only supported as a pointer-parameter argument")
+			return
+		}
+		r.expr(e.X)
+	case *BinExpr:
+		r.expr(e.X)
+		r.expr(e.Y)
+	case *CondExpr:
+		r.expr(e.Cond)
+		r.expr(e.Then)
+		r.expr(e.Else)
+	case *IndexExpr:
+		r.index(e)
+	case *AssignExpr:
+		r.lvalue(e.LHS)
+		r.expr(e.RHS)
+	case *IncDecExpr:
+		r.lvalue(e.X)
+	case *CallExpr:
+		r.call(e)
+	}
+}
+
+// lvalue resolves e in assignment-target context.
+func (r *resolver) lvalue(e Expr) {
+	switch e := e.(type) {
+	case *Ident:
+		sym := r.lookup(e.Name)
+		if sym == nil {
+			r.errorf(e.P, "undeclared identifier %q", e.Name)
+			return
+		}
+		e.Ref = sym.ref
+		if sym.ref.Kind == VarArray || sym.ref.Kind == VarGlobalArray {
+			r.errorf(e.P, "cannot assign to array %q without subscripts", e.Name)
+		}
+	case *ParenExpr:
+		r.lvalue(e.X)
+	case *IndexExpr:
+		r.index(e)
+	default:
+		r.errorf(e.Pos(), "expression is not assignable")
+	}
+}
+
+// splitIndexChain unwinds a chained subscript expression, returning the
+// root identifier (nil when the root is not a variable) and the subscript
+// expressions outermost-first.
+func splitIndexChain(e Expr) (*Ident, []Expr) {
+	var subs []Expr
+	cur := e
+	for {
+		switch x := cur.(type) {
+		case *IndexExpr:
+			subs = append([]Expr{x.Idx}, subs...)
+			cur = x.X
+		case *ParenExpr:
+			cur = x.X
+		case *Ident:
+			return x, subs
+		default:
+			return nil, subs
+		}
+	}
+}
+
+func (r *resolver) index(e *IndexExpr) {
+	root, subs := splitIndexChain(e)
+	for _, sx := range subs {
+		r.expr(sx)
+	}
+	if root == nil {
+		r.errorf(e.P, "indexed expression is not a variable")
+		return
+	}
+	sym := r.lookup(root.Name)
+	if sym == nil {
+		r.errorf(root.P, "undeclared identifier %q", root.Name)
+		return
+	}
+	root.Ref = sym.ref
+	if sym.ref.Kind != VarArray && sym.ref.Kind != VarGlobalArray {
+		r.errorf(root.P, "%q is not an array", root.Name)
+		return
+	}
+	if len(subs) != sym.rank {
+		r.errorf(e.P, "array %q has rank %d but is indexed with %d subscript(s)",
+			root.Name, sym.rank, len(subs))
+	}
+}
+
+func (r *resolver) call(e *CallExpr) {
+	if n, ok := builtinArity[e.Fun]; ok {
+		e.RBuiltin = true
+		if len(e.Args) != n {
+			r.errorf(e.P, "builtin %s expects %d argument(s), got %d", e.Fun, n, len(e.Args))
+		}
+		for _, a := range e.Args {
+			r.expr(a)
+		}
+		return
+	}
+	fn := r.funcs[e.Fun]
+	if fn == nil {
+		r.errorf(e.P, "call to undefined function %q", e.Fun)
+		return
+	}
+	if len(e.Args) != len(fn.Params) {
+		r.errorf(e.P, "%s expects %d argument(s), got %d", e.Fun, len(fn.Params), len(e.Args))
+		return
+	}
+	for i, a := range e.Args {
+		p := fn.Params[i]
+		switch {
+		case p.Type.IsArray():
+			r.arrayArg(a, p, e.Fun)
+		case p.Type.Ptr:
+			r.cellArg(a)
+		default:
+			r.expr(a)
+		}
+	}
+}
+
+// arrayArg resolves an argument bound to an array parameter: it must be a
+// plain array variable whose declared rank matches the parameter's.
+func (r *resolver) arrayArg(a Expr, p *Param, fun string) {
+	for {
+		pe, ok := a.(*ParenExpr)
+		if !ok {
+			break
+		}
+		a = pe.X
+	}
+	id, ok := a.(*Ident)
+	if !ok {
+		r.errorf(a.Pos(), "argument for array parameter %q of %s must be an array variable",
+			p.Name, fun)
+		return
+	}
+	sym := r.lookup(id.Name)
+	if sym == nil {
+		r.errorf(id.P, "undeclared identifier %q", id.Name)
+		return
+	}
+	id.Ref = sym.ref
+	if sym.ref.Kind != VarArray && sym.ref.Kind != VarGlobalArray {
+		r.errorf(id.P, "%q is not an array", id.Name)
+		return
+	}
+	if sym.rank != len(p.Type.Dims) {
+		r.errorf(id.P, "rank mismatch: %q has rank %d but parameter %q of %s expects rank %d",
+			id.Name, sym.rank, p.Name, fun, len(p.Type.Dims))
+	}
+}
+
+// cellArg resolves an argument bound to a pointer parameter: a scalar
+// variable, optionally written &x.
+func (r *resolver) cellArg(a Expr) {
+	for {
+		switch x := a.(type) {
+		case *ParenExpr:
+			a = x.X
+			continue
+		case *UnExpr:
+			if x.Op == AMP {
+				a = x.X
+				continue
+			}
+		}
+		break
+	}
+	id, ok := a.(*Ident)
+	if !ok {
+		r.errorf(a.Pos(), "argument for pointer parameter must be a scalar variable")
+		return
+	}
+	sym := r.lookup(id.Name)
+	if sym == nil {
+		r.errorf(id.P, "undeclared identifier %q", id.Name)
+		return
+	}
+	id.Ref = sym.ref
+	if sym.ref.Kind == VarArray || sym.ref.Kind == VarGlobalArray {
+		r.errorf(id.P, "array %q cannot bind a pointer parameter", id.Name)
+	}
+}
+
+// constEval evaluates a constant expression at resolve time. It reports
+// ok=false for anything that depends on runtime state (or would fault,
+// e.g. division by a zero constant).
+func constEval(e Expr) (Value, bool) {
+	switch e := e.(type) {
+	case *IntLit:
+		return IntV(e.V), true
+	case *FloatLit:
+		return FloatV(e.V), true
+	case *ParenExpr:
+		return constEval(e.X)
+	case *CastExpr:
+		v, ok := constEval(e.X)
+		if !ok {
+			return Value{}, false
+		}
+		return convertKind(v, e.To.Kind), true
+	case *UnExpr:
+		v, ok := constEval(e.X)
+		if !ok {
+			return Value{}, false
+		}
+		switch e.Op {
+		case MINUS:
+			if v.IsInt {
+				return IntV(-v.I), true
+			}
+			return FloatV(-v.F), true
+		case NOT:
+			if v.Bool() {
+				return IntV(0), true
+			}
+			return IntV(1), true
+		}
+		return Value{}, false
+	case *BinExpr:
+		x, ok := constEval(e.X)
+		if !ok {
+			return Value{}, false
+		}
+		y, ok := constEval(e.Y)
+		if !ok {
+			return Value{}, false
+		}
+		switch e.Op {
+		case PLUS, MINUS, STAR, SLASH, PERCENT:
+			if (e.Op == SLASH || e.Op == PERCENT) && x.IsInt && y.IsInt && y.I == 0 {
+				return Value{}, false
+			}
+			return arith(e.Op, x, y), true
+		case EQ, NEQ, LT, GT, LEQ, GEQ:
+			return compare(e.Op, x, y), true
+		}
+		return Value{}, false
+	case *CondExpr:
+		c, ok := constEval(e.Cond)
+		if !ok {
+			return Value{}, false
+		}
+		if c.Bool() {
+			return constEval(e.Then)
+		}
+		return constEval(e.Else)
+	}
+	return Value{}, false
+}

@@ -4,11 +4,20 @@
 // arithmetic and assignment operators, calls, and #pragma lines (OpenMP,
 // GCC optimize, Polybench scop markers).
 //
-// The package provides a lexer, a recursive-descent parser producing a
-// typed AST, a pretty-printer that also counts logical lines of code (the
-// unit used by the paper's Table I), a deep-clone facility used by the
-// weaver, and a reference interpreter used to validate kernel semantics
-// against pure-Go implementations.
+// The package is organised as a staged pipeline:
+//
+//	lexer → parser → resolver → compiler → executor
+//
+// The lexer and recursive-descent parser produce a typed AST with
+// positioned diagnostics (Diag). The resolver (resolve.go) walks the AST
+// once, binding every identifier to a numbered frame slot and checking
+// arity/rank rules. The compiler (compile.go) lowers resolved functions
+// into closure-compiled evaluators over slot-indexed frames, which the
+// executor (Interp, interp.go) runs. The original tree-walking
+// interpreter survives as Walker (walker.go) and serves as the semantics
+// oracle for differential tests and benchmarks. A pretty-printer counts
+// logical lines of code (the unit used by the paper's Table I) and a
+// deep-clone facility supports the weaver.
 package cminor
 
 import "fmt"
@@ -50,29 +59,29 @@ const (
 	QUESTION // ?
 	COLON    // :
 
-	ASSIGN     // =
-	ADDASSIGN  // +=
-	SUBASSIGN  // -=
-	MULASSIGN  // *=
-	DIVASSIGN  // /=
-	MODASSIGN  // %=
-	PLUS       // +
-	MINUS      // -
-	STAR       // *
-	SLASH      // /
-	PERCENT    // %
-	INC        // ++
-	DEC        // --
-	EQ         // ==
-	NEQ        // !=
-	LT         // <
-	GT         // >
-	LEQ        // <=
-	GEQ        // >=
-	ANDAND     // &&
-	OROR       // ||
-	NOT        // !
-	AMP        // &
+	ASSIGN    // =
+	ADDASSIGN // +=
+	SUBASSIGN // -=
+	MULASSIGN // *=
+	DIVASSIGN // /=
+	MODASSIGN // %=
+	PLUS      // +
+	MINUS     // -
+	STAR      // *
+	SLASH     // /
+	PERCENT   // %
+	INC       // ++
+	DEC       // --
+	EQ        // ==
+	NEQ       // !=
+	LT        // <
+	GT        // >
+	LEQ       // <=
+	GEQ       // >=
+	ANDAND    // &&
+	OROR      // ||
+	NOT       // !
+	AMP       // &
 )
 
 var kindNames = map[TokenKind]string{

@@ -1,0 +1,383 @@
+package cminor
+
+import "fmt"
+
+// Walker is the original single-pass tree-walking interpreter. Every
+// identifier is looked up in a per-call map and every node re-dispatches
+// on its dynamic type, so it is slow — the compiled pipeline (see
+// resolve.go / compile.go / interp.go) replaces it on the hot path. It is
+// kept as a semantics oracle: parity tests assert the compiled pipeline
+// produces bit-identical results, and benchmarks measure the speedup.
+//
+// Caveat: the walker keeps one flat variable map per call, so a
+// declaration in a nested block overwrites (and outlives) an outer
+// variable of the same name. The compiled pipeline is lexically scoped.
+// Parity therefore holds only for programs without shadowed
+// declarations — which covers every Polybench kernel this repo targets.
+type Walker struct {
+	file  *File
+	funcs map[string]*FuncDecl
+	// Steps counts executed statements, as a cheap runaway guard.
+	Steps    int
+	MaxSteps int
+}
+
+type wbinding struct {
+	scalar *Value
+	arr    *Array
+}
+
+type wframe struct {
+	vars map[string]*wbinding
+}
+
+func (fr *wframe) lookup(name string) (*wbinding, bool) {
+	b, ok := fr.vars[name]
+	return b, ok
+}
+
+// NewWalker builds a tree-walking interpreter over f.
+func NewWalker(f *File) *Walker {
+	w := &Walker{file: f, funcs: map[string]*FuncDecl{}, MaxSteps: 500_000_000}
+	for _, fn := range f.Funcs {
+		if fn.Body != nil {
+			w.funcs[fn.Name] = fn
+		}
+	}
+	return w
+}
+
+type returnSignal struct{ v Value }
+
+// Call invokes the named function. Args must be *Array for array
+// parameters, Value for scalar parameters, and *Value for pointer
+// parameters (shared cell).
+func (w *Walker) Call(name string, args ...any) (v Value, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if rs, ok := r.(returnSignal); ok {
+				v = rs.v
+				return
+			}
+			err = fmt.Errorf("cminor: interpreting %s: %v", name, r)
+		}
+	}()
+	fn, ok := w.funcs[name]
+	if !ok {
+		return Value{}, fmt.Errorf("cminor: no function %q", name)
+	}
+	if len(args) != len(fn.Params) {
+		return Value{}, fmt.Errorf("cminor: %s expects %d args, got %d",
+			name, len(fn.Params), len(args))
+	}
+	fr := &wframe{vars: map[string]*wbinding{}}
+	for i, p := range fn.Params {
+		switch a := args[i].(type) {
+		case *Array:
+			fr.vars[p.Name] = &wbinding{arr: a}
+		case Value:
+			val := convertKind(a, p.Type.Kind)
+			fr.vars[p.Name] = &wbinding{scalar: &val}
+		case *Value:
+			fr.vars[p.Name] = &wbinding{scalar: a}
+		case int:
+			val := IntV(int64(a))
+			fr.vars[p.Name] = &wbinding{scalar: &val}
+		case float64:
+			val := FloatV(a)
+			fr.vars[p.Name] = &wbinding{scalar: &val}
+		default:
+			return Value{}, fmt.Errorf("cminor: unsupported argument type %T for %s", a, p.Name)
+		}
+	}
+	w.execBlock(fn.Body, fr)
+	return Value{}, nil
+}
+
+func (w *Walker) step() {
+	w.Steps++
+	if w.Steps > w.MaxSteps {
+		panic("interpreter step budget exceeded")
+	}
+}
+
+func (w *Walker) execBlock(b *Block, fr *wframe) {
+	for _, s := range b.Stmts {
+		w.exec(s, fr)
+	}
+}
+
+func (w *Walker) exec(s Stmt, fr *wframe) {
+	w.step()
+	switch s := s.(type) {
+	case *Block:
+		w.execBlock(s, fr)
+	case *DeclStmt:
+		if s.Type.IsArray() {
+			dims := make([]int, len(s.Type.Dims))
+			for i, d := range s.Type.Dims {
+				dims[i] = int(w.eval(d, fr).Int())
+			}
+			fr.vars[s.Name] = &wbinding{arr: NewArray(dims...)}
+			return
+		}
+		var v Value
+		if s.Init != nil {
+			v = w.eval(s.Init, fr)
+		}
+		v = convertKind(v, s.Type.Kind)
+		fr.vars[s.Name] = &wbinding{scalar: &v}
+	case *ExprStmt:
+		w.eval(s.X, fr)
+	case *ForStmt:
+		if s.Init != nil {
+			w.exec(s.Init, fr)
+		}
+		for s.Cond == nil || w.eval(s.Cond, fr).Bool() {
+			w.execBlock(s.Body, fr)
+			if s.Post != nil {
+				w.eval(s.Post, fr)
+			}
+			w.step()
+		}
+	case *WhileStmt:
+		for w.eval(s.Cond, fr).Bool() {
+			w.execBlock(s.Body, fr)
+			w.step()
+		}
+	case *IfStmt:
+		if w.eval(s.Cond, fr).Bool() {
+			w.execBlock(s.Then, fr)
+		} else if s.Else != nil {
+			w.exec(s.Else, fr)
+		}
+	case *ReturnStmt:
+		var v Value
+		if s.X != nil {
+			v = w.eval(s.X, fr)
+		}
+		panic(returnSignal{v: v})
+	case *PragmaStmt:
+		// Pragmas have no interpretation-time effect.
+	}
+}
+
+// lvalue resolution: returns either a scalar cell or an array+index.
+func (w *Walker) lvalue(e Expr, fr *wframe) (cell *Value, arr *Array, idx []int) {
+	switch e := e.(type) {
+	case *Ident:
+		b, ok := fr.lookup(e.Name)
+		if !ok {
+			panic(fmt.Sprintf("undefined variable %q", e.Name))
+		}
+		if b.arr != nil {
+			return nil, b.arr, nil
+		}
+		return b.scalar, nil, nil
+	case *ParenExpr:
+		return w.lvalue(e.X, fr)
+	case *IndexExpr:
+		// Collect the subscript chain.
+		var subs []Expr
+		cur := Expr(e)
+		for {
+			ix, ok := cur.(*IndexExpr)
+			if !ok {
+				break
+			}
+			subs = append([]Expr{ix.Idx}, subs...)
+			cur = ix.X
+		}
+		id, ok := cur.(*Ident)
+		if !ok {
+			panic("indexed expression is not a variable")
+		}
+		b, ok := fr.lookup(id.Name)
+		if !ok || b.arr == nil {
+			panic(fmt.Sprintf("%q is not an array", id.Name))
+		}
+		idx = make([]int, len(subs))
+		for i, sx := range subs {
+			idx[i] = int(w.eval(sx, fr).Int())
+		}
+		return nil, b.arr, idx
+	case *UnExpr:
+		if e.Op == AMP {
+			return w.lvalue(e.X, fr)
+		}
+	}
+	panic(fmt.Sprintf("invalid lvalue %T", e))
+}
+
+func (w *Walker) eval(e Expr, fr *wframe) Value {
+	switch e := e.(type) {
+	case *Ident:
+		b, ok := fr.lookup(e.Name)
+		if !ok {
+			panic(fmt.Sprintf("undefined variable %q", e.Name))
+		}
+		if b.scalar == nil {
+			panic(fmt.Sprintf("array %q used as scalar", e.Name))
+		}
+		return *b.scalar
+	case *IntLit:
+		return IntV(e.V)
+	case *FloatLit:
+		return FloatV(e.V)
+	case *ParenExpr:
+		return w.eval(e.X, fr)
+	case *CastExpr:
+		return convertKind(w.eval(e.X, fr), e.To.Kind)
+	case *UnExpr:
+		v := w.eval(e.X, fr)
+		switch e.Op {
+		case MINUS:
+			if v.IsInt {
+				return IntV(-v.I)
+			}
+			return FloatV(-v.F)
+		case NOT:
+			if v.Bool() {
+				return IntV(0)
+			}
+			return IntV(1)
+		}
+		panic(fmt.Sprintf("unsupported unary op %s", e.Op))
+	case *BinExpr:
+		return w.evalBin(e, fr)
+	case *CondExpr:
+		if w.eval(e.Cond, fr).Bool() {
+			return w.eval(e.Then, fr)
+		}
+		return w.eval(e.Else, fr)
+	case *IndexExpr:
+		_, arr, idx := w.lvalue(e, fr)
+		if idx == nil {
+			panic("array value used without full subscripts")
+		}
+		return FloatV(arr.At(idx...))
+	case *AssignExpr:
+		rhs := w.eval(e.RHS, fr)
+		cell, arr, idx := w.lvalue(e.LHS, fr)
+		if arr != nil {
+			old := FloatV(arr.At(idx...))
+			nv := applyCompound(e.Op, old, rhs)
+			arr.Set(nv.Float(), idx...)
+			return nv
+		}
+		nv := applyCompound(e.Op, *cell, rhs)
+		if cell.IsInt {
+			nv = IntV(nv.Int())
+		}
+		*cell = nv
+		return nv
+	case *IncDecExpr:
+		cell, arr, idx := w.lvalue(e.X, fr)
+		if arr != nil {
+			old := arr.At(idx...)
+			if e.Op == INC {
+				arr.Set(old+1, idx...)
+			} else {
+				arr.Set(old-1, idx...)
+			}
+			return FloatV(old)
+		}
+		old := *cell
+		if cell.IsInt {
+			if e.Op == INC {
+				cell.I++
+			} else {
+				cell.I--
+			}
+		} else {
+			if e.Op == INC {
+				cell.F++
+			} else {
+				cell.F--
+			}
+		}
+		return old
+	case *CallExpr:
+		return w.call(e, fr)
+	}
+	panic(fmt.Sprintf("unsupported expression %T", e))
+}
+
+func (w *Walker) evalBin(e *BinExpr, fr *wframe) Value {
+	switch e.Op {
+	case ANDAND:
+		if !w.eval(e.X, fr).Bool() {
+			return IntV(0)
+		}
+		if w.eval(e.Y, fr).Bool() {
+			return IntV(1)
+		}
+		return IntV(0)
+	case OROR:
+		if w.eval(e.X, fr).Bool() {
+			return IntV(1)
+		}
+		if w.eval(e.Y, fr).Bool() {
+			return IntV(1)
+		}
+		return IntV(0)
+	}
+	x := w.eval(e.X, fr)
+	y := w.eval(e.Y, fr)
+	switch e.Op {
+	case PLUS, MINUS, STAR, SLASH, PERCENT:
+		return arith(e.Op, x, y)
+	case EQ, NEQ, LT, GT, LEQ, GEQ:
+		return compare(e.Op, x, y)
+	}
+	panic(fmt.Sprintf("unsupported binary op %s", e.Op))
+}
+
+func (w *Walker) call(e *CallExpr, fr *wframe) Value {
+	if bf, ok := builtins[e.Fun]; ok {
+		args := make([]Value, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = w.eval(a, fr)
+		}
+		return bf(args)
+	}
+	fn, ok := w.funcs[e.Fun]
+	if !ok {
+		panic(fmt.Sprintf("call to undefined function %q", e.Fun))
+	}
+	if len(e.Args) != len(fn.Params) {
+		panic(fmt.Sprintf("%s expects %d args, got %d", e.Fun, len(fn.Params), len(e.Args)))
+	}
+	callee := &wframe{vars: map[string]*wbinding{}}
+	for i, p := range fn.Params {
+		if p.Type.IsArray() {
+			_, arr, _ := w.lvalue(e.Args[i], fr)
+			if arr == nil {
+				panic(fmt.Sprintf("argument %d of %s must be an array", i, e.Fun))
+			}
+			callee.vars[p.Name] = &wbinding{arr: arr}
+			continue
+		}
+		if p.Type.Ptr {
+			cell, _, _ := w.lvalue(e.Args[i], fr)
+			callee.vars[p.Name] = &wbinding{scalar: cell}
+			continue
+		}
+		v := convertKind(w.eval(e.Args[i], fr), p.Type.Kind)
+		callee.vars[p.Name] = &wbinding{scalar: &v}
+	}
+	ret := Value{}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if rs, ok := r.(returnSignal); ok {
+					ret = rs.v
+					return
+				}
+				panic(r)
+			}
+		}()
+		w.execBlock(fn.Body, callee)
+	}()
+	return ret
+}
