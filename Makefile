@@ -1,0 +1,31 @@
+# Development targets. `make bench` records the perf trajectory across
+# PRs: it writes the full benchmark event stream (go test -json) to
+# BENCH_$(PR).json so successive PRs can be diffed.
+
+PR ?= 2
+BENCHCOUNT ?= 5
+
+.PHONY: all build test vet fmt bench bench-smoke
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+fmt:
+	test -z "$$(gofmt -l .)" || { gofmt -l .; exit 1; }
+
+# Full benchmark sweep, recorded as JSON for cross-PR tracking.
+bench:
+	go test ./internal/cminor -run '^$$' -bench . -benchmem -count=$(BENCHCOUNT) -json > BENCH_$(PR).json
+	@echo "wrote BENCH_$(PR).json"
+
+# One-iteration smoke run for CI: proves every benchmark still executes.
+bench-smoke:
+	go test ./internal/cminor -run '^$$' -bench . -benchmem -benchtime 1x

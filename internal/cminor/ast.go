@@ -323,10 +323,13 @@ func (k VarKind) String() string {
 // VarRef is a resolved slot reference: the storage class of a variable
 // plus its index within that class's slot space. The resolver annotates
 // Ident and DeclStmt nodes with VarRefs so the compiler can lower every
-// access to an array-indexed frame read instead of a map lookup.
+// access to an array-indexed frame read instead of a map lookup. Base is
+// the declared scalar base kind (int/double), which seeds the typecheck
+// pass that drives the unboxed evaluator specialization.
 type VarRef struct {
 	Kind VarKind
 	Slot int
+	Base BasicKind
 }
 
 // Ident is a variable reference. Ref is filled in by the resolver.
@@ -558,6 +561,9 @@ func Walk(n Node, fn func(Node) bool) {
 			Walk(s, fn)
 		}
 	case *DeclStmt:
+		for _, d := range n.Type.Dims {
+			Walk(d, fn)
+		}
 		if n.Init != nil {
 			Walk(n.Init, fn)
 		}

@@ -52,6 +52,63 @@ void axpy(int n, double alpha, double x[n], double y[n]) {
 }
 `
 
+const bench2mmSrc = `
+void mm2(int ni, int nj, int nk, int nl, double alpha, double beta,
+         double tmp[ni][nj], double A[ni][nk], double B[nk][nj],
+         double C[nj][nl], double D[ni][nl]) {
+  int i, j, k;
+  for (i = 0; i < ni; i++) {
+    for (j = 0; j < nj; j++) {
+      tmp[i][j] = 0.0;
+      for (k = 0; k < nk; k++) {
+        tmp[i][j] += alpha * A[i][k] * B[k][j];
+      }
+    }
+  }
+  for (i = 0; i < ni; i++) {
+    for (j = 0; j < nl; j++) {
+      D[i][j] *= beta;
+      for (k = 0; k < nj; k++) {
+        D[i][j] += tmp[i][k] * C[k][j];
+      }
+    }
+  }
+}
+`
+
+const benchSeidelSrc = `
+void seidel2d(int tsteps, int n, double A[n][n]) {
+  int t, i, j;
+  for (t = 0; t < tsteps; t++) {
+    for (i = 1; i < n - 1; i++) {
+      for (j = 1; j < n - 1; j++) {
+        A[i][j] = (A[i - 1][j - 1] + A[i - 1][j] + A[i - 1][j + 1]
+                 + A[i][j - 1] + A[i][j] + A[i][j + 1]
+                 + A[i + 1][j - 1] + A[i + 1][j] + A[i + 1][j + 1]) / 9.0;
+      }
+    }
+  }
+}
+`
+
+const benchAtaxSrc = `
+void atax(int m, int n, double A[m][n], double x[n], double y[n], double tmp[m]) {
+  int i, j;
+  for (i = 0; i < n; i++) {
+    y[i] = 0.0;
+  }
+  for (i = 0; i < m; i++) {
+    tmp[i] = 0.0;
+    for (j = 0; j < n; j++) {
+      tmp[i] = tmp[i] + A[i][j] * x[j];
+    }
+    for (j = 0; j < n; j++) {
+      y[j] = y[j] + A[i][j] * tmp[i];
+    }
+  }
+}
+`
+
 func benchMatrix(n int) *Array {
 	a := NewArray(n, n)
 	for i := range a.Data {
@@ -150,6 +207,99 @@ func BenchmarkAxpyCompiled(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := in.Call("axpy", IntV(n), FloatV(2.0), x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func bench2mmArgs(n int) []any {
+	return []any{IntV(int64(n)), IntV(int64(n)), IntV(int64(n)), IntV(int64(n)),
+		FloatV(1.5), FloatV(0.5),
+		benchMatrix(n), benchMatrix(n), benchMatrix(n), benchMatrix(n), benchMatrix(n)}
+}
+
+func Benchmark2mmWalker(b *testing.B) {
+	const n = 24
+	w := NewWalker(MustParse("2mm.c", bench2mmSrc))
+	w.MaxSteps = 1 << 62
+	args := bench2mmArgs(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Call("mm2", args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func Benchmark2mmCompiled(b *testing.B) {
+	const n = 24
+	in := NewInterp(MustParse("2mm.c", bench2mmSrc))
+	in.MaxSteps = 1 << 62
+	args := bench2mmArgs(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Call("mm2", args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSeidelArgs(n int) []any {
+	return []any{IntV(4), IntV(int64(n)), benchMatrix(n)}
+}
+
+func BenchmarkSeidel2dWalker(b *testing.B) {
+	const n = 48
+	w := NewWalker(MustParse("seidel.c", benchSeidelSrc))
+	w.MaxSteps = 1 << 62
+	args := benchSeidelArgs(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Call("seidel2d", args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSeidel2dCompiled(b *testing.B) {
+	const n = 48
+	in := NewInterp(MustParse("seidel.c", benchSeidelSrc))
+	in.MaxSteps = 1 << 62
+	args := benchSeidelArgs(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Call("seidel2d", args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchAtaxArgs(n int) []any {
+	return []any{IntV(int64(n)), IntV(int64(n)), benchMatrix(n),
+		benchVector(n), benchVector(n), benchVector(n)}
+}
+
+func BenchmarkAtaxWalker(b *testing.B) {
+	const n = 48
+	w := NewWalker(MustParse("atax.c", benchAtaxSrc))
+	w.MaxSteps = 1 << 62
+	args := benchAtaxArgs(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Call("atax", args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAtaxCompiled(b *testing.B) {
+	const n = 48
+	in := NewInterp(MustParse("atax.c", benchAtaxSrc))
+	in.MaxSteps = 1 << 62
+	args := benchAtaxArgs(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Call("atax", args...); err != nil {
 			b.Fatal(err)
 		}
 	}

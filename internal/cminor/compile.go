@@ -5,13 +5,38 @@ import (
 	"math"
 )
 
-// The compiler is the second stage of the resolve → compile → execute
-// pipeline. It lowers each resolved function into a tree of closures
-// ("closure compilation"): operator dispatch, identifier binding and
-// subscript-chain shape are all decided once, at compile time, so the
+// The compiler is the third stage of the resolve → typecheck → compile →
+// execute pipeline. It lowers each resolved function into a tree of
+// closures ("closure compilation"): operator dispatch, identifier binding
+// and subscript-chain shape are all decided once, at compile time, so the
 // execute stage performs only array-indexed frame accesses and direct
 // calls. Runtime faults (bad subscript, integer division by zero, step
 // budget) surface as positioned *Diag errors instead of crashes.
+//
+// On top of the generic Value closures, the compiler emits *specialized
+// evaluator families* driven by the typecheck pass: expressions with a
+// static int/double kind compile to unboxed func(*frame) int64 /
+// func(*frame) float64 / func(*frame) bool evaluators that never
+// construct or branch on the tagged Value struct. Literal subtrees are
+// constant-folded at compile time.
+//
+// The loop optimizer recognizes the canonical counted shape
+// "for (i = lo; i < hi; i++)" over a statically-int induction variable
+// and compiles it into a native Go loop with the bound hoisted (the
+// bound must be a pure, loop-invariant expression). Inside such loops,
+// rank-1/2 subscripts whose indices are affine in the induction variable
+// are strength-reduced: row base offsets and bounds checks are hoisted
+// into a per-entry preamble, and row-striding accesses get incremental
+// offset updates. Safety is preserved by loop versioning — the preamble
+// validates every hoisted access over the whole iteration range and
+// falls back to a fully-checked body when anything is out of range, so
+// faulting programs keep bit-for-bit walker parity.
+//
+// Each function is compiled twice: the specialized body (used for every
+// internal call and every well-kinded entry call) and a generic body
+// that Interp.Call falls back to when an entry binding breaks a declared
+// parameter kind (e.g. a raw *Value of the wrong kind), which the old
+// interpreter permitted.
 
 // flow is the statement-level control-flow result.
 type flow uint8
@@ -21,18 +46,33 @@ const (
 	flowReturn
 )
 
-// evalFn is a compiled expression; stmtFn is a compiled statement.
+// evalFn is a compiled expression; the typed variants are the unboxed
+// specializations; stmtFn is a compiled statement.
 type evalFn func(fr *frame) Value
+type evalIntFn func(fr *frame) int64
+type evalFloatFn func(fr *frame) float64
+type evalBoolFn func(fr *frame) bool
+type evalVoidFn func(fr *frame)
 type stmtFn func(fr *frame) flow
+
+// hoistCell is one strength-reduced subscript's per-execution state: the
+// array it resolved to and the (incrementally maintained) flat offset.
+type hoistCell struct {
+	arr  *Array
+	base int
+	step int
+}
 
 // frame is the slot-indexed activation record of one compiled call. The
 // three slices are the storage classes assigned by the resolver; every
-// variable access is a constant-index load/store.
+// variable access is a constant-index load/store. hoists holds the
+// loop optimizer's strength-reduction state.
 type frame struct {
 	in      *Interp
 	scalars []Value
 	cells   []*Value
 	arrays  []*Array
+	hoists  []hoistCell
 	ret     Value
 }
 
@@ -43,11 +83,15 @@ type globalStore struct {
 }
 
 // compiledFunc pairs a function's resolver summary with its compiled
-// body. Bodies are filled in after all shells exist so (mutually)
-// recursive calls can capture the shell pointer.
+// bodies. Bodies are filled in after all shells exist so (mutually)
+// recursive calls can capture the shell pointer. body is the typed
+// specialization; generic is the kind-agnostic fallback Interp.Call uses
+// when an entry binding violates a declared parameter kind.
 type compiledFunc struct {
-	info *FuncInfo
-	body stmtFn
+	info     *FuncInfo
+	body     stmtFn
+	generic  stmtFn
+	numHoist int
 }
 
 // Program is a compiled C-minor translation unit, reusable across
@@ -58,22 +102,26 @@ type Program struct {
 	funcs map[string]*compiledFunc
 }
 
-// Compile resolves and lowers f. All diagnostics carry file:line:col.
-// Resolution annotates f in place (Ident.Ref, DeclStmt.Ref,
-// CallExpr.RBuiltin), so compiling the same *File from multiple
-// goroutines is not safe — Clone the file first when sharing.
+// Compile resolves, typechecks and lowers f. All diagnostics carry
+// file:line:col. Resolution annotates f in place (Ident.Ref,
+// DeclStmt.Ref, CallExpr.RBuiltin), so compiling the same *File from
+// multiple goroutines is not safe — Clone the file first when sharing.
 func Compile(f *File) (*Program, error) {
 	res, err := Resolve(f)
 	if err != nil {
 		return nil, err
 	}
+	ti := typecheck(res)
 	p := &Program{res: res, fname: f.Name, funcs: map[string]*compiledFunc{}}
 	for name, info := range res.Funcs {
 		p.funcs[name] = &compiledFunc{info: info}
 	}
-	for _, cf := range p.funcs {
-		c := &compiler{prog: p}
-		cf.body = c.block(cf.info.Decl.Body)
+	for name, cf := range p.funcs {
+		ct := &compiler{prog: p, types: ti.funcs[name], info: ti}
+		cf.body = ct.block(cf.info.Decl.Body)
+		cf.numHoist = ct.numHoist
+		cg := &compiler{prog: p}
+		cf.generic = cg.block(cf.info.Decl.Body)
 	}
 	return p, nil
 }
@@ -91,12 +139,16 @@ func (p *Program) newGlobals() *globalStore {
 }
 
 func newFrame(in *Interp, cf *compiledFunc) *frame {
-	return &frame{
+	fr := &frame{
 		in:      in,
 		scalars: make([]Value, cf.info.NumScalars),
 		cells:   make([]*Value, cf.info.NumCells),
 		arrays:  make([]*Array, cf.info.NumArrays),
 	}
+	if cf.numHoist > 0 {
+		fr.hoists = make([]hoistCell, cf.numHoist)
+	}
+	return fr
 }
 
 // rtPanic raises a positioned runtime diagnostic; Interp.Call recovers it
@@ -107,6 +159,38 @@ func rtPanic(file string, p Pos, format string, args ...any) {
 
 type compiler struct {
 	prog *Program
+	// types/info are the typecheck results for the function being
+	// compiled; both nil compiles the generic (kind-agnostic) body.
+	types *fnTypes
+	info  *typeInfo
+	// numHoist counts strength-reduction slots handed out in this body.
+	numHoist int
+	// loops is the stack of active counted-loop contexts; elemFn
+	// registers hoistable subscripts against the innermost one.
+	loops []*loopCtx
+}
+
+// kindOf returns the static kind the typechecker assigned to e (kDyn in
+// generic mode or for untyped nodes).
+func (c *compiler) kindOf(e Expr) kind {
+	if c.types == nil {
+		return kDyn
+	}
+	return c.types.expr[e]
+}
+
+// varKind returns the static kind of a scalar variable slot.
+func (c *compiler) varKind(ref VarRef) kind {
+	if c.types == nil {
+		return kDyn
+	}
+	switch ref.Kind {
+	case VarScalar:
+		return c.types.scalars[ref.Slot]
+	case VarGlobalScalar:
+		return c.info.globals[ref.Slot]
+	}
+	return kDyn
 }
 
 // bug reports an internal inconsistency: the resolver accepted something
@@ -121,6 +205,9 @@ func (c *compiler) block(b *Block) stmtFn {
 	stmts := make([]stmtFn, len(b.Stmts))
 	for i, s := range b.Stmts {
 		stmts[i] = c.stmt(s)
+	}
+	if len(stmts) == 1 {
+		return stmts[0]
 	}
 	return func(fr *frame) flow {
 		for _, s := range stmts {
@@ -143,7 +230,7 @@ func (c *compiler) stmt(s Stmt) stmtFn {
 	case *DeclStmt:
 		return c.declStmt(s)
 	case *ExprStmt:
-		x := c.expr(s.X)
+		x := c.exprVoid(s.X)
 		return func(fr *frame) flow {
 			fr.in.step()
 			x(fr)
@@ -152,11 +239,11 @@ func (c *compiler) stmt(s Stmt) stmtFn {
 	case *ForStmt:
 		return c.forStmt(s)
 	case *WhileStmt:
-		cond := c.expr(s.Cond)
+		cond := c.boolExpr(s.Cond)
 		body := c.block(s.Body)
 		return func(fr *frame) flow {
 			fr.in.step()
-			for cond(fr).Bool() {
+			for cond(fr) {
 				if f := body(fr); f != flowNormal {
 					return f
 				}
@@ -165,7 +252,7 @@ func (c *compiler) stmt(s Stmt) stmtFn {
 			return flowNormal
 		}
 	case *IfStmt:
-		cond := c.expr(s.Cond)
+		cond := c.boolExpr(s.Cond)
 		then := c.block(s.Then)
 		var els stmtFn
 		if s.Else != nil {
@@ -173,7 +260,7 @@ func (c *compiler) stmt(s Stmt) stmtFn {
 		}
 		return func(fr *frame) flow {
 			fr.in.step()
-			if cond(fr).Bool() {
+			if cond(fr) {
 				return then(fr)
 			}
 			if els != nil {
@@ -220,50 +307,67 @@ func (c *compiler) declStmt(s *DeclStmt) stmtFn {
 				return flowNormal
 			}
 		}
-		dimFns := make([]evalFn, len(s.Type.Dims))
+		dimFns := make([]evalIntFn, len(s.Type.Dims))
 		for i, d := range s.Type.Dims {
-			dimFns[i] = c.expr(d)
+			dimFns[i] = c.asInt(d)
 		}
 		return func(fr *frame) flow {
 			fr.in.step()
 			dims := make([]int, len(dimFns))
 			for i, df := range dimFns {
-				dims[i] = int(df(fr).Int())
+				dims[i] = int(df(fr))
 			}
 			fr.arrays[slot] = NewArray(dims...)
 			return flowNormal
 		}
 	}
 	slot := s.Ref.Slot
-	isInt := s.Type.Kind == Int
-	var init evalFn
-	if s.Init != nil {
-		init = c.expr(s.Init)
-	}
 	switch s.Ref.Kind {
 	case VarScalar:
+		// Declarations normalize to the declared kind (C initialisation
+		// conversion), so the stores are emitted unboxed.
+		if s.Type.Kind == Int {
+			var init evalIntFn
+			if s.Init != nil {
+				init = c.asInt(s.Init)
+			}
+			return func(fr *frame) flow {
+				fr.in.step()
+				var v int64
+				if init != nil {
+					v = init(fr)
+				}
+				fr.scalars[slot] = IntV(v)
+				return flowNormal
+			}
+		}
+		var init evalFloatFn
+		if s.Init != nil {
+			init = c.asFloat(s.Init)
+		}
 		return func(fr *frame) flow {
 			fr.in.step()
-			var v Value
+			var v float64
 			if init != nil {
 				v = init(fr)
 			}
-			if isInt {
-				fr.scalars[slot] = IntV(v.Int())
-			} else {
-				fr.scalars[slot] = FloatV(v.Float())
-			}
+			fr.scalars[slot] = FloatV(v)
 			return flowNormal
 		}
 	case VarCell:
 		// A local declared "double *p" gets a fresh cell.
+		var init evalFn
+		if s.Init != nil {
+			init = c.expr(s.Init)
+		}
+		kindC := s.Type.Kind
 		return func(fr *frame) flow {
 			fr.in.step()
 			var v Value
 			if init != nil {
 				v = init(fr)
 			}
-			cell := convertKind(v, s.Type.Kind)
+			cell := convertKind(v, kindC)
 			fr.cells[slot] = &cell
 			return flowNormal
 		}
@@ -285,17 +389,22 @@ func constDims(dims []Expr) ([]int, bool) {
 }
 
 func (c *compiler) forStmt(s *ForStmt) stmtFn {
+	if c.types != nil {
+		if fn := c.countedLoop(s); fn != nil {
+			return fn
+		}
+	}
 	var init stmtFn
 	if s.Init != nil {
 		init = c.stmt(s.Init)
 	}
-	cond := evalFn(nil)
+	var cond evalBoolFn
 	if s.Cond != nil {
-		cond = c.expr(s.Cond)
+		cond = c.boolExpr(s.Cond)
 	}
-	var post evalFn
+	var post evalVoidFn
 	if s.Post != nil {
-		post = c.expr(s.Post)
+		post = c.exprVoid(s.Post)
 	}
 	body := c.block(s.Body)
 	return func(fr *frame) flow {
@@ -305,7 +414,7 @@ func (c *compiler) forStmt(s *ForStmt) stmtFn {
 				return f
 			}
 		}
-		for cond == nil || cond(fr).Bool() {
+		for cond == nil || cond(fr) {
 			if f := body(fr); f != flowNormal {
 				return f
 			}
@@ -320,7 +429,604 @@ func (c *compiler) forStmt(s *ForStmt) stmtFn {
 
 // ---- expressions ----
 
+// expr compiles e to a generic Value evaluator, wrapping the unboxed
+// specialization when the static kind is known.
 func (c *compiler) expr(e Expr) evalFn {
+	if v, ok := constEval(e); ok {
+		return func(*frame) Value { return v }
+	}
+	switch c.kindOf(e) {
+	case kInt:
+		f := c.intExpr(e)
+		return func(fr *frame) Value { return IntV(f(fr)) }
+	case kFloat:
+		f := c.floatExpr(e)
+		return func(fr *frame) Value { return FloatV(f(fr)) }
+	}
+	return c.dynExpr(e)
+}
+
+// asInt compiles e to an int64 evaluator with Value.Int() coercion
+// semantics (exact for int expressions, C-truncating otherwise).
+func (c *compiler) asInt(e Expr) evalIntFn {
+	if v, ok := constEval(e); ok {
+		n := v.Int()
+		return func(*frame) int64 { return n }
+	}
+	switch c.kindOf(e) {
+	case kInt:
+		return c.intExpr(e)
+	case kFloat:
+		f := c.floatExpr(e)
+		return func(fr *frame) int64 { return int64(f(fr)) }
+	}
+	x := c.dynExpr(e)
+	return func(fr *frame) int64 { return x(fr).Int() }
+}
+
+// asFloat compiles e to a float64 evaluator with Value.Float()
+// semantics (exact for both int and double expressions).
+func (c *compiler) asFloat(e Expr) evalFloatFn {
+	if v, ok := constEval(e); ok {
+		f := v.Float()
+		return func(*frame) float64 { return f }
+	}
+	switch c.kindOf(e) {
+	case kInt:
+		f := c.intExpr(e)
+		return func(fr *frame) float64 { return float64(f(fr)) }
+	case kFloat:
+		return c.floatExpr(e)
+	}
+	x := c.dynExpr(e)
+	return func(fr *frame) float64 { return x(fr).Float() }
+}
+
+// boolExpr compiles e to a bool evaluator with C truthiness; comparisons
+// and logical operators compile directly to branches without
+// materializing 0/1 values.
+func (c *compiler) boolExpr(e Expr) evalBoolFn {
+	if v, ok := constEval(e); ok {
+		b := v.Bool()
+		return func(*frame) bool { return b }
+	}
+	switch e := e.(type) {
+	case *ParenExpr:
+		return c.boolExpr(e.X)
+	case *UnExpr:
+		if e.Op == NOT {
+			x := c.boolExpr(e.X)
+			return func(fr *frame) bool { return !x(fr) }
+		}
+	case *BinExpr:
+		switch e.Op {
+		case ANDAND:
+			x, y := c.boolExpr(e.X), c.boolExpr(e.Y)
+			return func(fr *frame) bool { return x(fr) && y(fr) }
+		case OROR:
+			x, y := c.boolExpr(e.X), c.boolExpr(e.Y)
+			return func(fr *frame) bool { return x(fr) || y(fr) }
+		case EQ, NEQ, LT, GT, LEQ, GEQ:
+			return c.cmpExpr(e)
+		}
+	}
+	switch c.kindOf(e) {
+	case kInt:
+		f := c.intExpr(e)
+		return func(fr *frame) bool { return f(fr) != 0 }
+	case kFloat:
+		f := c.floatExpr(e)
+		return func(fr *frame) bool { return f(fr) != 0 }
+	}
+	x := c.dynExpr(e)
+	return func(fr *frame) bool { return x(fr).Bool() }
+}
+
+// cmpExpr compiles a comparison to an unboxed bool evaluator. The
+// runtime rule is "int compare iff both operands are int", so a
+// statically-float operand forces the float compare and both-int picks
+// the int compare; mixed dynamic operands fall back to the generic op.
+func (c *compiler) cmpExpr(e *BinExpr) evalBoolFn {
+	xk, yk := c.kindOf(e.X), c.kindOf(e.Y)
+	c.constKind(e.X, &xk)
+	c.constKind(e.Y, &yk)
+	if xk == kInt && yk == kInt {
+		x, y := c.asInt(e.X), c.asInt(e.Y)
+		switch e.Op {
+		case EQ:
+			return func(fr *frame) bool { return x(fr) == y(fr) }
+		case NEQ:
+			return func(fr *frame) bool { return x(fr) != y(fr) }
+		case LT:
+			return func(fr *frame) bool { return x(fr) < y(fr) }
+		case GT:
+			return func(fr *frame) bool { return x(fr) > y(fr) }
+		case LEQ:
+			return func(fr *frame) bool { return x(fr) <= y(fr) }
+		case GEQ:
+			return func(fr *frame) bool { return x(fr) >= y(fr) }
+		}
+	}
+	if xk == kFloat || yk == kFloat {
+		x, y := c.asFloat(e.X), c.asFloat(e.Y)
+		switch e.Op {
+		case EQ:
+			return func(fr *frame) bool { return x(fr) == y(fr) }
+		case NEQ:
+			return func(fr *frame) bool { return x(fr) != y(fr) }
+		case LT:
+			return func(fr *frame) bool { return x(fr) < y(fr) }
+		case GT:
+			return func(fr *frame) bool { return x(fr) > y(fr) }
+		case LEQ:
+			return func(fr *frame) bool { return x(fr) <= y(fr) }
+		case GEQ:
+			return func(fr *frame) bool { return x(fr) >= y(fr) }
+		}
+	}
+	op := c.valueOp(e.Op, e.P)
+	x, y := c.expr(e.X), c.expr(e.Y)
+	return func(fr *frame) bool { return op(x(fr), y(fr)).I != 0 }
+}
+
+// constKind refines a dynamic operand kind using constant folding, so
+// literal subtrees participate in unboxed comparisons even in generic
+// mode (where kindOf reports kDyn for everything).
+func (c *compiler) constKind(e Expr, k *kind) bool {
+	if *k != kDyn {
+		return false
+	}
+	v, ok := constEval(e)
+	if !ok {
+		return false
+	}
+	if v.IsInt {
+		*k = kInt
+	} else {
+		*k = kFloat
+	}
+	return true
+}
+
+// intExpr compiles a statically-int expression to an unboxed int64
+// evaluator. Callers must have checked kindOf(e) == kInt (or pass a
+// constant-foldable int subtree).
+func (c *compiler) intExpr(e Expr) evalIntFn {
+	if v, ok := constEval(e); ok {
+		n := v.Int()
+		return func(*frame) int64 { return n }
+	}
+	switch e := e.(type) {
+	case *IntLit:
+		n := e.V
+		return func(*frame) int64 { return n }
+	case *Ident:
+		slot := e.Ref.Slot
+		switch e.Ref.Kind {
+		case VarScalar:
+			return func(fr *frame) int64 { return fr.scalars[slot].I }
+		case VarGlobalScalar:
+			return func(fr *frame) int64 { return fr.in.g.scalars[slot].I }
+		}
+	case *ParenExpr:
+		return c.intExpr(e.X)
+	case *CastExpr:
+		return c.asInt(e.X)
+	case *UnExpr:
+		switch e.Op {
+		case MINUS:
+			x := c.intExpr(e.X)
+			return func(fr *frame) int64 { return -x(fr) }
+		case NOT:
+			x := c.boolExpr(e.X)
+			return func(fr *frame) int64 {
+				if x(fr) {
+					return 0
+				}
+				return 1
+			}
+		}
+	case *BinExpr:
+		return c.intBin(e)
+	case *CondExpr:
+		cond := c.boolExpr(e.Cond)
+		then, els := c.intExpr(e.Then), c.intExpr(e.Else)
+		return func(fr *frame) int64 {
+			if cond(fr) {
+				return then(fr)
+			}
+			return els(fr)
+		}
+	case *AssignExpr:
+		return c.intAssign(e)
+	case *IncDecExpr:
+		id, ok := stripParens(e.X).(*Ident)
+		if !ok {
+			break
+		}
+		cell := c.cellRef(id)
+		inc := e.Op == INC
+		return func(fr *frame) int64 {
+			cl := cell(fr)
+			old := cl.I
+			if inc {
+				cl.I = old + 1
+			} else {
+				cl.I = old - 1
+			}
+			return old
+		}
+	case *CallExpr:
+		call := c.call(e)
+		return func(fr *frame) int64 { return call(fr).I }
+	}
+	c.bug(e.Pos(), "expression %T not compilable as int", e)
+	return nil
+}
+
+func (c *compiler) intBin(e *BinExpr) evalIntFn {
+	switch e.Op {
+	case ANDAND, OROR, EQ, NEQ, LT, GT, LEQ, GEQ:
+		b := c.boolExpr(e)
+		return func(fr *frame) int64 {
+			if b(fr) {
+				return 1
+			}
+			return 0
+		}
+	}
+	x, y := c.intExpr(e.X), c.intExpr(e.Y)
+	file, pos := c.prog.fname, e.P
+	switch e.Op {
+	case PLUS:
+		return func(fr *frame) int64 { return x(fr) + y(fr) }
+	case MINUS:
+		return func(fr *frame) int64 { return x(fr) - y(fr) }
+	case STAR:
+		return func(fr *frame) int64 { return x(fr) * y(fr) }
+	case SLASH:
+		return func(fr *frame) int64 {
+			a, b := x(fr), y(fr)
+			if b == 0 {
+				rtPanic(file, pos, "integer division by zero")
+			}
+			return a / b
+		}
+	case PERCENT:
+		return func(fr *frame) int64 {
+			a, b := x(fr), y(fr)
+			if b == 0 {
+				rtPanic(file, pos, "integer modulo by zero")
+			}
+			return a % b
+		}
+	}
+	c.bug(e.P, "unsupported int binary op %s", e.Op)
+	return nil
+}
+
+// intAssign compiles an assignment whose value is statically int: an
+// int-kinded store into an array element, or any store into an
+// int-kinded scalar (stores into int slots always coerce to int).
+func (c *compiler) intAssign(e *AssignExpr) evalIntFn {
+	if ix, ok := stripParens(e.LHS).(*IndexExpr); ok {
+		// Statically-int value with an array target implies plain
+		// assignment of an int RHS: the typechecker kinds every compound
+		// array store as float (it reads the float element first).
+		if e.Op != ASSIGN {
+			c.bug(e.P, "compound array store %s typed as int", e.Op)
+		}
+		rhs := c.asInt(e.RHS)
+		elem := c.elemFn(ix)
+		return func(fr *frame) int64 {
+			v := rhs(fr)
+			a, off := elem(fr)
+			a.Data[off] = float64(v)
+			return v
+		}
+	}
+	id, ok := stripParens(e.LHS).(*Ident)
+	if !ok {
+		c.bug(e.LHS.Pos(), "invalid assignment target %T", e.LHS)
+	}
+	cell := c.cellRef(id)
+	if e.Op == ASSIGN {
+		rhs := c.asInt(e.RHS)
+		return func(fr *frame) int64 {
+			v := rhs(fr)
+			*cell(fr) = IntV(v)
+			return v
+		}
+	}
+	base, ok := compoundBase(e.Op)
+	if !ok {
+		c.bug(e.P, "unsupported assignment op %s", e.Op)
+	}
+	file, pos := c.prog.fname, e.P
+	rk := c.kindOf(e.RHS)
+	c.constKind(e.RHS, &rk)
+	switch rk {
+	case kInt:
+		rhs := c.intExpr(e.RHS)
+		return func(fr *frame) int64 {
+			v := rhs(fr)
+			cl := cell(fr)
+			old := cl.I
+			var nv int64
+			switch base {
+			case PLUS:
+				nv = old + v
+			case MINUS:
+				nv = old - v
+			case STAR:
+				nv = old * v
+			case SLASH:
+				if v == 0 {
+					rtPanic(file, pos, "integer division by zero")
+				}
+				nv = old / v
+			case PERCENT:
+				if v == 0 {
+					rtPanic(file, pos, "integer modulo by zero")
+				}
+				nv = old % v
+			}
+			*cl = IntV(nv)
+			return nv
+		}
+	case kFloat:
+		// int var ⊕= float rhs: the arithmetic happens in float, then
+		// the store truncates back to int (the walker's coercion rule).
+		rhs := c.floatExpr(e.RHS)
+		fop := floatArith(base)
+		return func(fr *frame) int64 {
+			v := rhs(fr)
+			cl := cell(fr)
+			nv := int64(fop(float64(cl.I), v))
+			*cl = IntV(nv)
+			return nv
+		}
+	}
+	op := c.valueOp(base, e.P)
+	rhs := c.dynExpr(e.RHS)
+	return func(fr *frame) int64 {
+		v := rhs(fr)
+		cl := cell(fr)
+		nv := op(*cl, v).Int()
+		*cl = IntV(nv)
+		return nv
+	}
+}
+
+// floatExpr compiles a statically-double expression to an unboxed
+// float64 evaluator.
+func (c *compiler) floatExpr(e Expr) evalFloatFn {
+	if v, ok := constEval(e); ok {
+		f := v.Float()
+		return func(*frame) float64 { return f }
+	}
+	switch e := e.(type) {
+	case *FloatLit:
+		f := e.V
+		return func(*frame) float64 { return f }
+	case *Ident:
+		slot := e.Ref.Slot
+		switch e.Ref.Kind {
+		case VarScalar:
+			return func(fr *frame) float64 { return fr.scalars[slot].F }
+		case VarGlobalScalar:
+			return func(fr *frame) float64 { return fr.in.g.scalars[slot].F }
+		}
+	case *ParenExpr:
+		return c.floatExpr(e.X)
+	case *CastExpr:
+		return c.asFloat(e.X)
+	case *UnExpr:
+		if e.Op == MINUS {
+			x := c.floatExpr(e.X)
+			return func(fr *frame) float64 { return -x(fr) }
+		}
+	case *BinExpr:
+		// A statically-float binary op evaluates both operands as
+		// floats regardless of their runtime kinds (the "both int"
+		// branch is statically unreachable).
+		x, y := c.asFloat(e.X), c.asFloat(e.Y)
+		switch e.Op {
+		case PLUS:
+			return func(fr *frame) float64 { return x(fr) + y(fr) }
+		case MINUS:
+			return func(fr *frame) float64 { return x(fr) - y(fr) }
+		case STAR:
+			return func(fr *frame) float64 { return x(fr) * y(fr) }
+		case SLASH:
+			return func(fr *frame) float64 { return x(fr) / y(fr) }
+		case PERCENT:
+			return func(fr *frame) float64 { return math.Mod(x(fr), y(fr)) }
+		}
+	case *CondExpr:
+		cond := c.boolExpr(e.Cond)
+		then, els := c.floatExpr(e.Then), c.floatExpr(e.Else)
+		return func(fr *frame) float64 {
+			if cond(fr) {
+				return then(fr)
+			}
+			return els(fr)
+		}
+	case *IndexExpr:
+		elem := c.elemFn(e)
+		return func(fr *frame) float64 {
+			a, off := elem(fr)
+			return a.Data[off]
+		}
+	case *AssignExpr:
+		return c.floatAssign(e)
+	case *IncDecExpr:
+		inc := e.Op == INC
+		if ix, ok := stripParens(e.X).(*IndexExpr); ok {
+			elem := c.elemFn(ix)
+			return func(fr *frame) float64 {
+				a, off := elem(fr)
+				old := a.Data[off]
+				if inc {
+					a.Data[off] = old + 1
+				} else {
+					a.Data[off] = old - 1
+				}
+				return old
+			}
+		}
+		id, ok := stripParens(e.X).(*Ident)
+		if !ok {
+			break
+		}
+		cell := c.cellRef(id)
+		return func(fr *frame) float64 {
+			cl := cell(fr)
+			old := cl.F
+			if inc {
+				cl.F = old + 1
+			} else {
+				cl.F = old - 1
+			}
+			return old
+		}
+	case *CallExpr:
+		if e.RBuiltin {
+			return c.floatBuiltin(e)
+		}
+		call := c.call(e)
+		return func(fr *frame) float64 { return call(fr).F }
+	}
+	c.bug(e.Pos(), "expression %T not compilable as float", e)
+	return nil
+}
+
+// floatArith returns the unboxed float implementation of an arithmetic
+// operator (float division by zero yields ±Inf, not an error).
+func floatArith(op TokenKind) func(a, b float64) float64 {
+	switch op {
+	case PLUS:
+		return func(a, b float64) float64 { return a + b }
+	case MINUS:
+		return func(a, b float64) float64 { return a - b }
+	case STAR:
+		return func(a, b float64) float64 { return a * b }
+	case SLASH:
+		return func(a, b float64) float64 { return a / b }
+	case PERCENT:
+		return math.Mod
+	}
+	panic(fmt.Sprintf("cminor: internal: no float op %s", op))
+}
+
+// floatAssign compiles an assignment whose value is statically double.
+func (c *compiler) floatAssign(e *AssignExpr) evalFloatFn {
+	if ix, ok := stripParens(e.LHS).(*IndexExpr); ok {
+		elem := c.elemFn(ix)
+		if e.Op == ASSIGN {
+			rhs := c.floatExpr(e.RHS)
+			return func(fr *frame) float64 {
+				// Match the tree-walker's evaluation order: RHS first,
+				// then the target subscripts.
+				v := rhs(fr)
+				a, off := elem(fr)
+				a.Data[off] = v
+				return v
+			}
+		}
+		base, ok := compoundBase(e.Op)
+		if !ok {
+			c.bug(e.P, "unsupported assignment op %s", e.Op)
+		}
+		// Compound array stores read the float element first, so the
+		// arithmetic is always float.
+		rhs := c.asFloat(e.RHS)
+		fop := floatArith(base)
+		return func(fr *frame) float64 {
+			v := rhs(fr)
+			a, off := elem(fr)
+			nv := fop(a.Data[off], v)
+			a.Data[off] = nv
+			return nv
+		}
+	}
+	id, ok := stripParens(e.LHS).(*Ident)
+	if !ok {
+		c.bug(e.LHS.Pos(), "invalid assignment target %T", e.LHS)
+	}
+	cell := c.cellRef(id)
+	if e.Op == ASSIGN {
+		rhs := c.floatExpr(e.RHS)
+		return func(fr *frame) float64 {
+			v := rhs(fr)
+			*cell(fr) = FloatV(v)
+			return v
+		}
+	}
+	base, ok := compoundBase(e.Op)
+	if !ok {
+		c.bug(e.P, "unsupported assignment op %s", e.Op)
+	}
+	rhs := c.asFloat(e.RHS)
+	fop := floatArith(base)
+	return func(fr *frame) float64 {
+		v := rhs(fr)
+		cl := cell(fr)
+		nv := fop(cl.F, v)
+		*cl = FloatV(nv)
+		return nv
+	}
+}
+
+// exprVoid compiles e for statement position: assignment and ++/--
+// side effects are emitted store-only, with no result materialized.
+func (c *compiler) exprVoid(e Expr) evalVoidFn {
+	switch e := e.(type) {
+	case *ParenExpr:
+		return c.exprVoid(e.X)
+	case *AssignExpr:
+		if ix, ok := stripParens(e.LHS).(*IndexExpr); ok {
+			elem := c.elemFn(ix)
+			rhs := c.asFloat(e.RHS)
+			if e.Op == ASSIGN {
+				return func(fr *frame) {
+					v := rhs(fr)
+					a, off := elem(fr)
+					a.Data[off] = v
+				}
+			}
+			base, ok := compoundBase(e.Op)
+			if !ok {
+				c.bug(e.P, "unsupported assignment op %s", e.Op)
+			}
+			fop := floatArith(base)
+			return func(fr *frame) {
+				v := rhs(fr)
+				a, off := elem(fr)
+				a.Data[off] = fop(a.Data[off], v)
+			}
+		}
+	case *IncDecExpr:
+		if ix, ok := stripParens(e.X).(*IndexExpr); ok {
+			elem := c.elemFn(ix)
+			inc := e.Op == INC
+			return func(fr *frame) {
+				a, off := elem(fr)
+				if inc {
+					a.Data[off]++
+				} else {
+					a.Data[off]--
+				}
+			}
+		}
+	}
+	x := c.expr(e)
+	return func(fr *frame) { x(fr) }
+}
+
+// dynExpr compiles e down the generic tagged-Value path (used for
+// dynamic kinds and for the whole generic fallback body).
+func (c *compiler) dynExpr(e Expr) evalFn {
 	switch e := e.(type) {
 	case *IntLit:
 		v := IntV(e.V)
@@ -333,11 +1039,12 @@ func (c *compiler) expr(e Expr) evalFn {
 	case *ParenExpr:
 		return c.expr(e.X)
 	case *CastExpr:
-		x := c.expr(e.X)
 		if e.To.Kind == Int {
-			return func(fr *frame) Value { return IntV(x(fr).Int()) }
+			x := c.asInt(e.X)
+			return func(fr *frame) Value { return IntV(x(fr)) }
 		}
-		return func(fr *frame) Value { return FloatV(x(fr).Float()) }
+		x := c.asFloat(e.X)
+		return func(fr *frame) Value { return FloatV(x(fr)) }
 	case *UnExpr:
 		x := c.expr(e.X)
 		switch e.Op {
@@ -361,11 +1068,11 @@ func (c *compiler) expr(e Expr) evalFn {
 	case *BinExpr:
 		return c.bin(e)
 	case *CondExpr:
-		cond := c.expr(e.Cond)
+		cond := c.boolExpr(e.Cond)
 		then := c.expr(e.Then)
 		els := c.expr(e.Else)
 		return func(fr *frame) Value {
-			if cond(fr).Bool() {
+			if cond(fr) {
 				return then(fr)
 			}
 			return els(fr)
@@ -432,18 +1139,23 @@ func (c *compiler) arrayRef(e *Ident) func(fr *frame) *Array {
 
 // elemFn compiles a full subscript chain to an (array, flat offset)
 // accessor with bounds checks. Rank 1 and 2 — the shapes Polybench
-// kernels live in — get unrolled fast paths.
+// kernels live in — get unrolled fast paths, and inside a counted loop
+// subscripts affine in the induction variable are strength-reduced to
+// hoisted offsets (see tryHoist).
 func (c *compiler) elemFn(e *IndexExpr) func(fr *frame) (*Array, int) {
 	root, subs := splitIndexChain(e)
 	if root == nil {
 		c.bug(e.P, "indexed expression is not a variable")
 	}
+	if h := c.tryHoist(root, subs); h != nil {
+		return h
+	}
 	arrGet := c.arrayRef(root)
 	file := c.prog.fname
 	pos := e.P
-	idxFns := make([]evalFn, len(subs))
+	idxFns := make([]evalIntFn, len(subs))
 	for i, sx := range subs {
-		idxFns[i] = c.expr(sx)
+		idxFns[i] = c.asInt(sx)
 	}
 	switch len(idxFns) {
 	case 1:
@@ -453,7 +1165,7 @@ func (c *compiler) elemFn(e *IndexExpr) func(fr *frame) (*Array, int) {
 			if len(a.Dims) != 1 {
 				rtPanic(file, pos, "array rank %d indexed with 1 subscript", len(a.Dims))
 			}
-			i := int(i0(fr).Int())
+			i := int(i0(fr))
 			if uint(i) >= uint(a.Dims[0]) {
 				rtPanic(file, pos, "index %d out of range [0,%d)", i, a.Dims[0])
 			}
@@ -466,8 +1178,8 @@ func (c *compiler) elemFn(e *IndexExpr) func(fr *frame) (*Array, int) {
 			if len(a.Dims) != 2 {
 				rtPanic(file, pos, "array rank %d indexed with 2 subscripts", len(a.Dims))
 			}
-			i := int(i0(fr).Int())
-			j := int(i1(fr).Int())
+			i := int(i0(fr))
+			j := int(i1(fr))
 			if uint(i) >= uint(a.Dims[0]) {
 				rtPanic(file, pos, "index %d out of range [0,%d) in dim 0", i, a.Dims[0])
 			}
@@ -485,7 +1197,7 @@ func (c *compiler) elemFn(e *IndexExpr) func(fr *frame) (*Array, int) {
 			}
 			off := 0
 			for k, fn := range idxFns {
-				i := int(fn(fr).Int())
+				i := int(fn(fr))
 				if uint(i) >= uint(a.Dims[k]) {
 					rtPanic(file, pos, "index %d out of range [0,%d) in dim %d", i, a.Dims[k], k)
 				}
@@ -616,25 +1328,9 @@ func (c *compiler) valueOp(op TokenKind, p Pos) func(Value, Value) Value {
 
 func (c *compiler) bin(e *BinExpr) evalFn {
 	switch e.Op {
-	case ANDAND:
-		x, y := c.expr(e.X), c.expr(e.Y)
-		return func(fr *frame) Value {
-			if !x(fr).Bool() {
-				return IntV(0)
-			}
-			if y(fr).Bool() {
-				return IntV(1)
-			}
-			return IntV(0)
-		}
-	case OROR:
-		x, y := c.expr(e.X), c.expr(e.Y)
-		return func(fr *frame) Value {
-			if x(fr).Bool() || y(fr).Bool() {
-				return IntV(1)
-			}
-			return IntV(0)
-		}
+	case ANDAND, OROR, EQ, NEQ, LT, GT, LEQ, GEQ:
+		b := c.boolExpr(e)
+		return func(fr *frame) Value { return boolV(b(fr)) }
 	}
 	x, y := c.expr(e.X), c.expr(e.Y)
 	op := c.valueOp(e.Op, e.P)
@@ -759,7 +1455,8 @@ type argBinder func(caller, callee *frame)
 
 func (c *compiler) call(e *CallExpr) evalFn {
 	if e.RBuiltin {
-		return c.builtinCall(e)
+		f := c.floatBuiltin(e)
+		return func(fr *frame) Value { return FloatV(f(fr)) }
 	}
 	cf := c.prog.funcs[e.Fun]
 	if cf == nil {
@@ -787,15 +1484,19 @@ func (c *compiler) call(e *CallExpr) evalFn {
 			slot := ref.Slot
 			binders[i] = func(caller, callee *frame) { callee.cells[slot] = src(caller) }
 		default:
-			v := c.expr(a)
 			slot := ref.Slot
-			isInt := p.Type.Kind == Int
-			binders[i] = func(caller, callee *frame) {
-				val := v(caller)
-				if isInt {
-					callee.scalars[slot] = IntV(val.Int())
-				} else {
-					callee.scalars[slot] = FloatV(val.Float())
+			// Internal call sites always normalize scalar arguments to
+			// the declared parameter kind, so callee typed bodies are
+			// safe regardless of the argument's kind.
+			if p.Type.Kind == Int {
+				v := c.asInt(a)
+				binders[i] = func(caller, callee *frame) {
+					callee.scalars[slot] = IntV(v(caller))
+				}
+			} else {
+				v := c.asFloat(a)
+				binders[i] = func(caller, callee *frame) {
+					callee.scalars[slot] = FloatV(v(caller))
 				}
 			}
 		}
@@ -810,47 +1511,55 @@ func (c *compiler) call(e *CallExpr) evalFn {
 	}
 }
 
-// builtinCall lowers a math-builtin call to a direct typed closure — no
-// argument slice, so builtins in inner loops stay allocation-free.
-func (c *compiler) builtinCall(e *CallExpr) evalFn {
-	argFns := make([]evalFn, len(e.Args))
+// floatBuiltin lowers a math-builtin call to a direct unboxed closure —
+// no argument slice and no Value boxing, so builtins in inner loops stay
+// allocation-free.
+func (c *compiler) floatBuiltin(e *CallExpr) evalFloatFn {
+	argFns := make([]evalFloatFn, len(e.Args))
 	for i, a := range e.Args {
-		argFns[i] = c.expr(a)
+		argFns[i] = c.asFloat(a)
 	}
 	switch e.Fun {
 	case "sqrt":
 		a0 := argFns[0]
-		return func(fr *frame) Value { return FloatV(math.Sqrt(a0(fr).Float())) }
+		return func(fr *frame) float64 { return math.Sqrt(a0(fr)) }
 	case "fabs":
 		a0 := argFns[0]
-		return func(fr *frame) Value { return FloatV(math.Abs(a0(fr).Float())) }
+		return func(fr *frame) float64 { return math.Abs(a0(fr)) }
 	case "pow":
 		a0, a1 := argFns[0], argFns[1]
-		return func(fr *frame) Value { return FloatV(math.Pow(a0(fr).Float(), a1(fr).Float())) }
+		return func(fr *frame) float64 { return math.Pow(a0(fr), a1(fr)) }
 	case "exp":
 		a0 := argFns[0]
-		return func(fr *frame) Value { return FloatV(math.Exp(a0(fr).Float())) }
+		return func(fr *frame) float64 { return math.Exp(a0(fr)) }
 	case "log":
 		a0 := argFns[0]
-		return func(fr *frame) Value { return FloatV(math.Log(a0(fr).Float())) }
+		return func(fr *frame) float64 { return math.Log(a0(fr)) }
 	case "floor":
 		a0 := argFns[0]
-		return func(fr *frame) Value { return FloatV(math.Floor(a0(fr).Float())) }
+		return func(fr *frame) float64 { return math.Floor(a0(fr)) }
 	case "ceil":
 		a0 := argFns[0]
-		return func(fr *frame) Value { return FloatV(math.Ceil(a0(fr).Float())) }
+		return func(fr *frame) float64 { return math.Ceil(a0(fr)) }
 	}
-	// Fallback for any future builtin without a fast path.
+	// Fallback for any future builtin without a fast path. Arguments are
+	// passed as raw Values exactly as the walker does, so a builtin that
+	// inspects argument kinds cannot diverge between the backends; the
+	// builtin contract (see value.go) requires a float result.
 	bf := builtins[e.Fun]
 	if bf == nil {
 		c.bug(e.P, "unknown builtin %q", e.Fun)
 	}
-	return func(fr *frame) Value {
-		args := make([]Value, len(argFns))
-		for i, fn := range argFns {
+	rawArgs := make([]evalFn, len(e.Args))
+	for i, a := range e.Args {
+		rawArgs[i] = c.expr(a)
+	}
+	return func(fr *frame) float64 {
+		args := make([]Value, len(rawArgs))
+		for i, fn := range rawArgs {
 			args[i] = fn(fr)
 		}
-		return bf(args)
+		return bf(args).Float()
 	}
 }
 

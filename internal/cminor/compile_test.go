@@ -238,6 +238,50 @@ double f() {
 		},
 	},
 	{
+		"2mm", bench2mmSrc, "mm2",
+		func() []any {
+			n := 6
+			mk := func() *Array {
+				a := NewArray(n, n)
+				for i := range a.Data {
+					a.Data[i] = float64(i%11) * 0.31
+				}
+				return a
+			}
+			return []any{IntV(int64(n)), IntV(int64(n)), IntV(int64(n)), IntV(int64(n)),
+				FloatV(1.5), FloatV(0.5), mk(), mk(), mk(), mk(), mk()}
+		},
+	},
+	{
+		"seidel-2d", benchSeidelSrc, "seidel2d",
+		func() []any {
+			n := 10
+			a := NewArray(n, n)
+			for i := range a.Data {
+				a.Data[i] = float64(i%17) * 0.5
+			}
+			return []any{IntV(3), IntV(int64(n)), a}
+		},
+	},
+	{
+		"atax", benchAtaxSrc, "atax",
+		func() []any {
+			n := 9
+			a := NewArray(n, n)
+			for i := range a.Data {
+				a.Data[i] = float64(i%13) * 0.7
+			}
+			v := func() *Array {
+				x := NewArray(n)
+				for i := range x.Data {
+					x.Data[i] = float64(i%5) * 1.3
+				}
+				return x
+			}
+			return []any{IntV(int64(n)), IntV(int64(n)), a, v(), v(), v()}
+		},
+	},
+	{
 		"mixed-int-float-assign",
 		`double f(double z) {
   double s = 0.0;
@@ -329,6 +373,38 @@ func TestCompiledDivByZeroPositioned(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "div.c:1:") {
 		t.Errorf("error should carry file:line position, got %q", err)
+	}
+}
+
+// TestDivByZeroPositionedEverywhere pins the *Diag contract for integer
+// division faults across every execution path: the tree-walker's
+// arith/applyCompound (which used to panic with bare strings), the
+// compiled compound-assignment path, and the compiled typed int path.
+func TestDivByZeroPositionedEverywhere(t *testing.T) {
+	cases := []struct {
+		name, src, fn string
+	}{
+		{"binary-div", "int f(int a) { return 1 / a; }", "f"},
+		{"binary-mod", "int f(int a) { return 1 % a; }", "f"},
+		{"compound-div", "int f(int a) {\n  int s = 7;\n  s /= a;\n  return s;\n}", "f"},
+		{"compound-mod", "int f(int a) {\n  int s = 7;\n  s %= a;\n  return s;\n}", "f"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := MustParse("dz.c", tc.src)
+			for _, eng := range []struct {
+				name string
+				e    engine
+			}{{"walker", NewWalker(f)}, {"compiled", NewInterp(f)}} {
+				_, err := eng.e.Call(tc.fn, IntV(0))
+				if err == nil {
+					t.Fatalf("%s: expected a division fault", eng.name)
+				}
+				if !strings.Contains(err.Error(), "dz.c:") {
+					t.Errorf("%s: fault should carry file:line:col, got %q", eng.name, err)
+				}
+			}
+		})
 	}
 }
 

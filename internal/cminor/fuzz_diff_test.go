@@ -1,0 +1,266 @@
+package cminor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Differential fuzz-style test: a deterministic generator produces a
+// corpus of small kernels — mixed int/double arithmetic, nested counted
+// loops (including shapes that hit and miss the loop optimizer's fast
+// paths), compound assignments, casts, builtins, and stores that demote
+// double variables to dynamic — and every program is run through both
+// the tree-walking oracle and the optimized compiled pipeline. Results
+// must be bit-identical: same returned Value and same bits in every
+// array. This guards the typed specialization and the strength-reduced
+// subscripts against silent numeric drift.
+
+// diffGen generates one random kernel. Loop variables carry the index
+// offsets that are provably in range for the loop bounds chosen, so
+// generated programs never fault and array contents stay comparable.
+type diffGen struct {
+	rng *rand.Rand
+	sb  strings.Builder
+	// loopVars are the loop variables currently in scope, with
+	// wide=true when the loop runs [1, n-1) so ±1 offsets are safe.
+	loopVars []struct {
+		name string
+		wide bool
+	}
+}
+
+func (g *diffGen) pick(opts ...string) string {
+	return opts[g.rng.Intn(len(opts))]
+}
+
+// intExpr emits a side-effect-free int expression over in-scope ints.
+func (g *diffGen) intExpr(depth int) string {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(4) {
+		case 0:
+			return fmt.Sprint(g.rng.Intn(10))
+		case 1:
+			return "n"
+		case 2:
+			return "s"
+		default:
+			if len(g.loopVars) > 0 {
+				return g.loopVars[g.rng.Intn(len(g.loopVars))].name
+			}
+			return fmt.Sprint(g.rng.Intn(10))
+		}
+	}
+	switch g.rng.Intn(6) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", g.intExpr(depth-1), g.intExpr(depth-1))
+	case 1:
+		return fmt.Sprintf("(%s - %s)", g.intExpr(depth-1), g.intExpr(depth-1))
+	case 2:
+		return fmt.Sprintf("(%s * %s)", g.intExpr(depth-1), g.intExpr(depth-1))
+	case 3:
+		// Constant divisors only: faults would end the comparison early.
+		return fmt.Sprintf("(%s %% %d)", g.intExpr(depth-1), 1+g.rng.Intn(7))
+	case 4:
+		// User call with a statically-int result.
+		return fmt.Sprintf("hint(%s)", g.intExpr(depth-1))
+	default:
+		return fmt.Sprintf("(%s / %d)", g.intExpr(depth-1), 1+g.rng.Intn(5))
+	}
+}
+
+// index emits a subscript that is in range for every generated loop:
+// a loop variable (±1 when its range allows), or a small invariant.
+func (g *diffGen) index() string {
+	if len(g.loopVars) > 0 && g.rng.Intn(4) != 0 {
+		v := g.loopVars[g.rng.Intn(len(g.loopVars))]
+		if v.wide {
+			return g.pick(v.name, v.name+" - 1", v.name+" + 1", "1 + "+v.name)
+		}
+		return v.name
+	}
+	return g.pick("0", "1", "n - 1", "n / 2")
+}
+
+// floatExpr emits a side-effect-free double expression.
+func (g *diffGen) floatExpr(depth int) string {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(5) {
+		case 0:
+			return fmt.Sprintf("%g", float64(g.rng.Intn(40))*0.25)
+		case 1:
+			return "acc"
+		case 2:
+			return fmt.Sprintf("a[%s]", g.index())
+		case 3:
+			return fmt.Sprintf("b[%s][%s]", g.index(), g.index())
+		default:
+			return fmt.Sprintf("(double)(%s)", g.intExpr(depth-1))
+		}
+	}
+	switch g.rng.Intn(7) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", g.floatExpr(depth-1), g.floatExpr(depth-1))
+	case 1:
+		return fmt.Sprintf("(%s - %s)", g.floatExpr(depth-1), g.floatExpr(depth-1))
+	case 2:
+		return fmt.Sprintf("(%s * %s)", g.floatExpr(depth-1), g.floatExpr(depth-1))
+	case 3:
+		return fmt.Sprintf("(%s / 2.5)", g.floatExpr(depth-1))
+	case 4:
+		return fmt.Sprintf("sqrt(fabs(%s))", g.floatExpr(depth-1))
+	case 5:
+		// hmix can return an int-kinded Value (its result kind demotes
+		// to dynamic), exercising dyn call results in float positions.
+		return fmt.Sprintf("(hmix(%s, %s) + 0.0)", g.intExpr(depth-1), g.floatExpr(depth-1))
+	default:
+		// Mixed arithmetic: int operand forces the dynamic-join paths.
+		return fmt.Sprintf("(%s + %s)", g.floatExpr(depth-1), g.intExpr(depth-1))
+	}
+}
+
+func (g *diffGen) stmt(indent string, depth int) {
+	switch g.rng.Intn(10) {
+	case 8:
+		// Pointer escape: punch stores an int through the cell, so the
+		// typechecker must demote acc (or keep s int) — and the stored
+		// kind must match the walker bit-for-bit afterwards.
+		fmt.Fprintf(&g.sb, "%spunch(&%s, %s);\n", indent,
+			g.pick("acc", "s"), g.intExpr(1))
+	case 9:
+		fmt.Fprintf(&g.sb, "%sbump(&acc, %s);\n", indent, g.floatExpr(1))
+	case 0:
+		fmt.Fprintf(&g.sb, "%ss %s %s;\n", indent,
+			g.pick("=", "+=", "-=", "*="), g.intExpr(2))
+	case 1:
+		fmt.Fprintf(&g.sb, "%sacc %s %s;\n", indent,
+			g.pick("+=", "-=", "*="), g.floatExpr(2))
+	case 2:
+		// Plain int store into a double variable: demotes acc to the
+		// dynamic kind and exercises the generic assignment path.
+		fmt.Fprintf(&g.sb, "%sacc = %s;\n", indent, g.intExpr(2))
+	case 3:
+		fmt.Fprintf(&g.sb, "%sout[%s] %s %s;\n", indent, g.index(),
+			g.pick("=", "+=", "*=", "/="), g.floatExpr(2))
+	case 4:
+		fmt.Fprintf(&g.sb, "%sb[%s][%s] %s %s;\n", indent, g.index(), g.index(),
+			g.pick("=", "+=", "-=", "*="), g.floatExpr(2))
+	case 5:
+		fmt.Fprintf(&g.sb, "%sif (%s %s %s) {\n", indent, g.intExpr(1),
+			g.pick("<", "<=", ">", "==", "!="), g.intExpr(1))
+		g.stmt(indent+"  ", depth-1)
+		fmt.Fprintf(&g.sb, "%s}\n", indent)
+	case 6:
+		fmt.Fprintf(&g.sb, "%sa[%s] %s %s;\n", indent, g.index(),
+			g.pick("=", "+=", "-="), g.floatExpr(2))
+	default:
+		if depth > 0 {
+			g.loop(indent, depth)
+			return
+		}
+		fmt.Fprintf(&g.sb, "%sout[%s]++;\n", indent, g.index())
+	}
+}
+
+func (g *diffGen) loop(indent string, depth int) {
+	name := fmt.Sprintf("i%d", len(g.loopVars))
+	wide := g.rng.Intn(2) == 0
+	lo, hi := "0", "n"
+	if wide {
+		lo, hi = "1", "n - 1"
+	}
+	// Mix post shapes so both the recognized counted forms and the
+	// generic loop compile path stay covered.
+	post := g.pick(name+"++", name+" += 1", name+" = "+name+" + 1")
+	fmt.Fprintf(&g.sb, "%sfor (%s = %s; %s < %s; %s) {\n",
+		indent, name, lo, name, hi, post)
+	g.loopVars = append(g.loopVars, struct {
+		name string
+		wide bool
+	}{name, wide})
+	for k := 0; k <= g.rng.Intn(3); k++ {
+		g.stmt(indent+"  ", depth-1)
+	}
+	g.loopVars = g.loopVars[:len(g.loopVars)-1]
+	fmt.Fprintf(&g.sb, "%s}\n", indent)
+}
+
+// generate returns the source of one random kernel, preceded by helper
+// functions that exercise cross-function inference: hint has a stable
+// int result, hmix may fall off one branch with an int return (its
+// result kind demotes to dynamic), and punch/bump write through pointer
+// parameters (escape demotion).
+func generateDiffKernel(seed int64) string {
+	g := &diffGen{rng: rand.New(rand.NewSource(seed))}
+	fmt.Fprintf(&g.sb, "int hint(int p) { return (p * %d + %d) %% %d; }\n",
+		1+g.rng.Intn(5), g.rng.Intn(7), 1+g.rng.Intn(9))
+	fmt.Fprintf(&g.sb,
+		"double hmix(int p, double q) {\n  if (p > %d) { return p; }\n  return q * %g;\n}\n",
+		g.rng.Intn(6), 0.25*float64(1+g.rng.Intn(8)))
+	g.sb.WriteString("void punch(double *p, int v) { p = v; }\n")
+	g.sb.WriteString("void bump(double *p, double d) { p = p + d; }\n")
+	g.sb.WriteString("double k(int n, double a[n], double b[n][n], double out[n]) {\n")
+	g.sb.WriteString("  int i0; int i1; int i2;\n")
+	fmt.Fprintf(&g.sb, "  int s = %s;\n", g.intExpr(1))
+	fmt.Fprintf(&g.sb, "  double acc = %s;\n", g.floatExpr(1))
+	for k := 0; k <= g.rng.Intn(3); k++ {
+		g.loop("  ", 2+g.rng.Intn(2))
+	}
+	g.sb.WriteString("  return acc + s;\n}\n")
+	return g.sb.String()
+}
+
+func diffArgs(n int, seed int64) []any {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	a, b, out := NewArray(n), NewArray(n, n), NewArray(n)
+	for i := range a.Data {
+		a.Data[i] = float64(rng.Intn(100)) * 0.125
+	}
+	for i := range b.Data {
+		b.Data[i] = float64(rng.Intn(100)) * 0.375
+	}
+	for i := range out.Data {
+		out.Data[i] = float64(rng.Intn(100)) * 0.0625
+	}
+	return []any{IntV(int64(n)), a, b, out}
+}
+
+func TestDifferentialGeneratedKernels(t *testing.T) {
+	const corpus = 60
+	for seed := int64(0); seed < corpus; seed++ {
+		src := generateDiffKernel(seed)
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+			f, err := Parse(fmt.Sprintf("gen%d.c", seed), src)
+			if err != nil {
+				t.Fatalf("generator produced an unparsable kernel:\n%s\n%v", src, err)
+			}
+			w := NewWalker(f)
+			in := NewInterp(f)
+			w.MaxSteps = 1 << 30
+			in.MaxSteps = 1 << 30
+			wArgs, cArgs := diffArgs(8, seed), diffArgs(8, seed)
+			wv, werr := w.Call("k", wArgs...)
+			cv, cerr := in.Call("k", cArgs...)
+			if (werr == nil) != (cerr == nil) {
+				t.Fatalf("error divergence on:\n%s\nwalker=%v compiled=%v", src, werr, cerr)
+			}
+			if werr != nil {
+				return
+			}
+			if !sameValue(wv, cv) {
+				t.Fatalf("return divergence on:\n%s\nwalker=%+v compiled=%+v", src, wv, cv)
+			}
+			for i := 1; i < len(wArgs); i++ {
+				wa, ca := wArgs[i].(*Array), cArgs[i].(*Array)
+				for k := range wa.Data {
+					if math.Float64bits(wa.Data[k]) != math.Float64bits(ca.Data[k]) {
+						t.Fatalf("array %d diverges at flat index %d on:\n%s\nwalker=%g compiled=%g",
+							i, k, src, wa.Data[k], ca.Data[k])
+					}
+				}
+			}
+		})
+	}
+}

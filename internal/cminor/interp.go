@@ -3,12 +3,13 @@ package cminor
 import "fmt"
 
 // Interp executes C-minor files through the compiled pipeline: the file
-// is resolved (identifiers bound to slots, arity/rank checked) and
-// lowered to closure-compiled evaluators once, then every Call runs over
-// slot-indexed frames with no per-variable map lookups. The public
-// surface (NewInterp, Call, Value, Array) is unchanged from the original
-// tree-walking interpreter; Walker retains those semantics for
-// differential testing.
+// is resolved (identifiers bound to slots, arity/rank checked),
+// typechecked (static int/double kinds inferred) and lowered to
+// closure-compiled evaluators once — with unboxed fast paths and a loop
+// optimizer — then every Call runs over slot-indexed frames with no
+// per-variable map lookups. The public surface (NewInterp, Call, Value,
+// Array) is unchanged from the original tree-walking interpreter;
+// Walker retains those semantics for differential testing.
 type Interp struct {
 	prog *Program
 	err  error
@@ -74,6 +75,11 @@ func (in *Interp) Call(name string, args ...any) (v Value, err error) {
 	// faults). Caveat vs the old interpreter: passing the same *Value
 	// for two by-value parameters no longer aliases them to one cell.
 	var copybacks []func()
+	// The typed body trusts that every by-value scalar slot holds a
+	// Value of its declared kind. Raw *Value / int / float64 arguments
+	// may violate that (the historical interpreter binds them
+	// unconverted); such calls run the generically-compiled body.
+	mistyped := false
 	for i, p := range params {
 		ref := cf.info.Params[i]
 		if arr, isArr := args[i].(*Array); isArr || ref.Kind == VarArray {
@@ -83,6 +89,7 @@ func (in *Interp) Call(name string, args ...any) (v Value, err error) {
 			fr.arrays[ref.Slot] = arr
 			continue
 		}
+		wantInt := p.Type.Kind == Int
 		switch a := args[i].(type) {
 		case *Value:
 			if ref.Kind == VarCell {
@@ -90,6 +97,9 @@ func (in *Interp) Call(name string, args ...any) (v Value, err error) {
 			} else {
 				// The historical interpreter shared the cell unconverted;
 				// copy the raw Value in and back out to match.
+				if a.IsInt != wantInt {
+					mistyped = true
+				}
 				fr.scalars[ref.Slot] = *a
 				slot, dst := ref.Slot, a
 				copybacks = append(copybacks, func() { *dst = fr.scalars[slot] })
@@ -97,8 +107,14 @@ func (in *Interp) Call(name string, args ...any) (v Value, err error) {
 		case Value:
 			in.bindScalar(fr, ref, convertKind(a, p.Type.Kind))
 		case int:
+			if !wantInt && ref.Kind == VarScalar {
+				mistyped = true
+			}
 			in.bindScalar(fr, ref, IntV(int64(a)))
 		case float64:
+			if wantInt && ref.Kind == VarScalar {
+				mistyped = true
+			}
 			in.bindScalar(fr, ref, FloatV(a))
 		default:
 			return Value{}, fmt.Errorf("cminor: unsupported argument type %T for %s", a, p.Name)
@@ -118,7 +134,11 @@ func (in *Interp) Call(name string, args ...any) (v Value, err error) {
 			err = fmt.Errorf("cminor: interpreting %s: %v", name, r)
 		}
 	}()
-	cf.body(fr)
+	body := cf.body
+	if mistyped {
+		body = cf.generic
+	}
+	body(fr)
 	return fr.ret, nil
 }
 

@@ -1,0 +1,518 @@
+package cminor
+
+import "math"
+
+// The loop optimizer recognizes the canonical counted loop
+//
+//	for (i = lo; i < hi; i++) { ... }   (also <=, "i += 1", "i = i + 1",
+//	                                     and "for (int i = lo; ...)")
+//
+// over a statically-int induction variable and compiles it into a native
+// Go loop: the bound is evaluated once (it must be a pure loop-invariant
+// int expression), the condition becomes a machine integer compare, and
+// the increment a machine add, with the induction slot kept in sync for
+// body reads. The step budget is still charged per iteration.
+//
+// Inside such a loop, rank-1/2 subscripts are strength-reduced when
+// their indices split into a loop-invariant part and an affine function
+// of the induction variable (i, i+c, c+i, i-c):
+//
+//	colIV   A[row][i+c]  row invariant      → off = hoistBase + i
+//	rowIV   A[i+c][col]  col invariant      → off = hoistBase, += stride
+//	allInv  A[row][col]  both invariant     → off = hoistBase
+//
+// Array resolution, the row/col-invariant indices, their bounds checks,
+// and the affine range check over [lo, last] are all hoisted into a
+// per-entry preamble. Safety is preserved by loop versioning: the body
+// is compiled twice, and if any preamble check fails (or the array rank
+// is wrong) the loop runs the fully-checked safe body instead, which
+// faults at exactly the statement and iteration the unoptimized
+// pipeline would — the preamble itself is side-effect free, so the
+// fallback decision is unobservable.
+
+// Hoisted-subscript patterns.
+const (
+	hColIV uint8 = iota
+	hRowIV
+	hAllInv
+)
+
+// maxHoistDepth bounds how many nested counted-loop levels may register
+// hoisted subscripts (and therefore compile versioned fast/safe
+// bodies); see tryHoist.
+const maxHoistDepth = 6
+
+// loopCtx is the per-counted-loop compile context: what the body
+// modifies (for invariance checks) and the subscripts hoisted so far.
+type loopCtx struct {
+	ivSlot      int
+	modScalars  map[int]bool
+	modGlobals  map[int]bool
+	declArrays  map[int]bool
+	writesCells bool
+	hoisted     []*hoistAccess
+}
+
+// hoistAccess is one strength-reduced subscript: how to re-derive its
+// array, base offset and step at loop entry, and which frame hoist slot
+// carries that state.
+type hoistAccess struct {
+	hslot   int
+	pattern uint8
+	rank    int
+	arrGet  func(fr *frame) *Array
+	rowFn   evalIntFn // invariant row (rank 2, colIV/allInv)
+	colFn   evalIntFn // invariant col (rowIV/allInv)
+	ivOff   int64     // c in "i + c"
+}
+
+// setup validates this access over the whole iteration range
+// [iv0, ivLast] and installs its hoist state. It is pure apart from the
+// hoist slot write; a false return means "run the safe body".
+func (h *hoistAccess) setup(fr *frame, iv0, ivLast int64) bool {
+	a := h.arrGet(fr)
+	if len(a.Dims) != h.rank {
+		return false
+	}
+	hc := &fr.hoists[h.hslot]
+	switch h.pattern {
+	case hColIV:
+		if !affineInRange(iv0, ivLast, h.ivOff, a.Dims[h.rank-1]) {
+			return false
+		}
+		base := int(h.ivOff)
+		if h.rank == 2 {
+			row := h.rowFn(fr)
+			if uint64(row) >= uint64(a.Dims[0]) {
+				return false
+			}
+			base += int(row) * a.Dims[1]
+		}
+		hc.arr, hc.base, hc.step = a, base, 0
+	case hRowIV:
+		col := h.colFn(fr)
+		if uint64(col) >= uint64(a.Dims[1]) {
+			return false
+		}
+		if !affineInRange(iv0, ivLast, h.ivOff, a.Dims[0]) {
+			return false
+		}
+		hc.arr = a
+		hc.base = int(iv0+h.ivOff)*a.Dims[1] + int(col)
+		hc.step = a.Dims[1]
+	case hAllInv:
+		base := 0
+		if h.rank == 2 {
+			row := h.rowFn(fr)
+			if uint64(row) >= uint64(a.Dims[0]) {
+				return false
+			}
+			base = int(row) * a.Dims[1]
+		}
+		col := h.colFn(fr)
+		if uint64(col) >= uint64(a.Dims[h.rank-1]) {
+			return false
+		}
+		hc.arr, hc.base, hc.step = a, base+int(col), 0
+	}
+	return true
+}
+
+// affineInRange reports whether iv+off stays inside [0, n) for every iv
+// in [iv0, ivLast]. The additions are overflow-checked: a wrapping
+// index must fail validation (the safe body then reproduces whatever
+// the generic wrapping arithmetic does, positioned faults included).
+func affineInRange(iv0, ivLast, off int64, n int) bool {
+	lo := iv0 + off
+	if (off > 0 && lo < iv0) || (off < 0 && lo > iv0) {
+		return false
+	}
+	hi := ivLast + off
+	if (off > 0 && hi < ivLast) || (off < 0 && hi > ivLast) {
+		return false
+	}
+	return lo >= 0 && hi < int64(n)
+}
+
+// countedLoop recognizes and compiles the counted-for fast path,
+// returning nil when s doesn't fit the shape (the caller then emits the
+// generic loop).
+func (c *compiler) countedLoop(s *ForStmt) stmtFn {
+	if s.Init == nil || s.Cond == nil || s.Post == nil {
+		return nil
+	}
+	// Induction variable and lower bound from the init clause.
+	var ivRef VarRef
+	var lo Expr // nil means 0 (an uninitialised "for (int i; ...)" decl)
+	switch init := s.Init.(type) {
+	case *ExprStmt:
+		a, ok := init.X.(*AssignExpr)
+		if !ok || a.Op != ASSIGN {
+			return nil
+		}
+		id, ok := stripParens(a.LHS).(*Ident)
+		if !ok || id.Ref.Kind != VarScalar {
+			return nil
+		}
+		ivRef, lo = id.Ref, a.RHS
+	case *DeclStmt:
+		if init.Ref.Kind != VarScalar || init.Type.Kind != Int {
+			return nil
+		}
+		ivRef, lo = init.Ref, init.Init
+	default:
+		return nil
+	}
+	if c.varKind(ivRef) != kInt {
+		return nil
+	}
+	// Condition: iv < hi or iv <= hi.
+	cond, ok := stripParens(s.Cond).(*BinExpr)
+	if !ok || (cond.Op != LT && cond.Op != LEQ) {
+		return nil
+	}
+	cid, ok := stripParens(cond.X).(*Ident)
+	if !ok || cid.Ref.Kind != VarScalar || cid.Ref.Slot != ivRef.Slot {
+		return nil
+	}
+	hi := cond.Y
+	hk := c.kindOf(hi)
+	c.constKind(hi, &hk)
+	if hk != kInt {
+		return nil
+	}
+	// Post: iv++, iv += 1, or iv = iv + 1.
+	if !isUnitStep(s.Post, ivRef.Slot) {
+		return nil
+	}
+	// Body analysis: no user calls (they could mutate anything), the
+	// induction variable untouched, and the bound loop-invariant.
+	lc := analyzeLoopBody(s.Body, ivRef.Slot)
+	if lc == nil || lc.modScalars[ivRef.Slot] {
+		return nil
+	}
+	if !c.invariant(hi, lc) {
+		return nil
+	}
+
+	var loFn evalIntFn
+	if lo != nil {
+		loFn = c.asInt(lo)
+	}
+	hiFn := c.asInt(hi)
+	strict := cond.Op == LT
+	ivSlot := ivRef.Slot
+
+	// Compile the body with the loop context active so elemFn can
+	// register strength-reduced subscripts; when any were registered,
+	// compile a second, fully-checked version for the fallback.
+	c.loops = append(c.loops, lc)
+	fastBody := c.block(s.Body)
+	c.loops = c.loops[:len(c.loops)-1]
+	safeBody := fastBody
+	if len(lc.hoisted) > 0 {
+		safeBody = c.block(s.Body)
+	}
+	hoists := lc.hoisted
+	var incs []int // hoist slots needing a per-iteration stride add
+	for _, h := range hoists {
+		if h.pattern == hRowIV {
+			incs = append(incs, h.hslot)
+		}
+	}
+
+	return func(fr *frame) flow {
+		fr.in.step() // the for statement itself
+		fr.in.step() // its init statement
+		var iv int64
+		if loFn != nil {
+			iv = loFn(fr)
+		}
+		fr.scalars[ivSlot] = IntV(iv)
+		last := hiFn(fr)
+		if strict {
+			if last == math.MinInt64 {
+				return flowNormal
+			}
+			last--
+		}
+		if iv > last {
+			return flowNormal
+		}
+		useFast := true
+		for _, h := range hoists {
+			if !h.setup(fr, iv, last) {
+				useFast = false
+				break
+			}
+		}
+		body := fastBody
+		if !useFast {
+			body = safeBody
+		}
+		if useFast && len(incs) > 0 {
+			for {
+				if f := body(fr); f != flowNormal {
+					return f
+				}
+				for _, hs := range incs {
+					fr.hoists[hs].base += fr.hoists[hs].step
+				}
+				iv++
+				fr.scalars[ivSlot].I = iv
+				fr.in.step()
+				if iv > last {
+					return flowNormal
+				}
+			}
+		}
+		for {
+			if f := body(fr); f != flowNormal {
+				return f
+			}
+			iv++
+			fr.scalars[ivSlot].I = iv
+			fr.in.step()
+			if iv > last {
+				return flowNormal
+			}
+		}
+	}
+}
+
+// isUnitStep reports whether post is a unit increment of the induction
+// slot: iv++, iv += 1, or iv = iv + 1.
+func isUnitStep(post Expr, ivSlot int) bool {
+	switch p := stripParens(post).(type) {
+	case *IncDecExpr:
+		id, ok := stripParens(p.X).(*Ident)
+		return ok && p.Op == INC && id.Ref.Kind == VarScalar && id.Ref.Slot == ivSlot
+	case *AssignExpr:
+		id, ok := stripParens(p.LHS).(*Ident)
+		if !ok || id.Ref.Kind != VarScalar || id.Ref.Slot != ivSlot {
+			return false
+		}
+		switch p.Op {
+		case ADDASSIGN:
+			lit, ok := stripParens(p.RHS).(*IntLit)
+			return ok && lit.V == 1
+		case ASSIGN:
+			b, ok := stripParens(p.RHS).(*BinExpr)
+			if !ok || b.Op != PLUS {
+				return false
+			}
+			bid, ok := stripParens(b.X).(*Ident)
+			if !ok || bid.Ref.Kind != VarScalar || bid.Ref.Slot != ivSlot {
+				return false
+			}
+			lit, ok := stripParens(b.Y).(*IntLit)
+			return ok && lit.V == 1
+		}
+	}
+	return false
+}
+
+// analyzeLoopBody collects what the loop body can modify. It returns
+// nil when the body contains a user function call — a call can mutate
+// globals, arrays, and any variable whose address was taken, which
+// defeats every invariance argument the optimizer relies on.
+func analyzeLoopBody(b *Block, ivSlot int) *loopCtx {
+	lc := &loopCtx{
+		ivSlot:     ivSlot,
+		modScalars: map[int]bool{},
+		modGlobals: map[int]bool{},
+		declArrays: map[int]bool{},
+	}
+	ok := true
+	Walk(b, func(n Node) bool {
+		switch n := n.(type) {
+		case *CallExpr:
+			if !n.RBuiltin {
+				ok = false
+				return false
+			}
+		case *DeclStmt:
+			switch n.Ref.Kind {
+			case VarScalar:
+				// A declaration re-initializes its slot every iteration,
+				// so the slot is not invariant across the loop.
+				lc.modScalars[n.Ref.Slot] = true
+			case VarArray:
+				lc.declArrays[n.Ref.Slot] = true
+			case VarCell:
+				lc.writesCells = true
+			}
+		case *AssignExpr:
+			markWrite(lc, n.LHS)
+		case *IncDecExpr:
+			markWrite(lc, n.X)
+		}
+		return true
+	})
+	if !ok {
+		return nil
+	}
+	return lc
+}
+
+// markWrite records an assignment target in the loop's modified sets.
+func markWrite(lc *loopCtx, target Expr) {
+	switch t := stripParens(target).(type) {
+	case *Ident:
+		switch t.Ref.Kind {
+		case VarScalar:
+			lc.modScalars[t.Ref.Slot] = true
+		case VarGlobalScalar:
+			lc.modGlobals[t.Ref.Slot] = true
+		case VarCell:
+			// A cell may point at a global (or any caller variable), so
+			// writing through it dirties everything non-local.
+			lc.writesCells = true
+		}
+	case *IndexExpr:
+		// Array element writes don't affect scalar invariance; element
+		// reads are never treated as invariant anyway.
+	}
+}
+
+// invariant reports whether e is pure (cannot fault, no side effects)
+// and yields the same value on every iteration of the loop: literals
+// and unmodified non-induction scalars combined with non-faulting
+// operators. Division is excluded — hoisting it would reorder a
+// potential fault.
+func (c *compiler) invariant(e Expr, lc *loopCtx) bool {
+	switch e := e.(type) {
+	case *IntLit, *FloatLit:
+		return true
+	case *Ident:
+		switch e.Ref.Kind {
+		case VarScalar:
+			return e.Ref.Slot != lc.ivSlot && !lc.modScalars[e.Ref.Slot]
+		case VarGlobalScalar:
+			return !lc.writesCells && !lc.modGlobals[e.Ref.Slot]
+		}
+		return false // cells alias caller storage; be conservative
+	case *ParenExpr:
+		return c.invariant(e.X, lc)
+	case *CastExpr:
+		return c.invariant(e.X, lc)
+	case *UnExpr:
+		return (e.Op == MINUS || e.Op == NOT) && c.invariant(e.X, lc)
+	case *BinExpr:
+		switch e.Op {
+		case PLUS, MINUS, STAR, EQ, NEQ, LT, GT, LEQ, GEQ, ANDAND, OROR:
+			return c.invariant(e.X, lc) && c.invariant(e.Y, lc)
+		}
+		return false // / and % can fault; don't reorder that
+	}
+	return false
+}
+
+// ivAffine matches i, i+c, c+i, i-c against the induction slot,
+// returning the constant offset c.
+func ivAffine(e Expr, ivSlot int) (int64, bool) {
+	switch x := stripParens(e).(type) {
+	case *Ident:
+		if x.Ref.Kind == VarScalar && x.Ref.Slot == ivSlot {
+			return 0, true
+		}
+	case *BinExpr:
+		id, iOK := stripParens(x.X).(*Ident)
+		lit, lOK := stripParens(x.Y).(*IntLit)
+		switch x.Op {
+		case PLUS:
+			if iOK && lOK && id.Ref.Kind == VarScalar && id.Ref.Slot == ivSlot {
+				return lit.V, true
+			}
+			// c + i
+			lit2, lOK2 := stripParens(x.X).(*IntLit)
+			id2, iOK2 := stripParens(x.Y).(*Ident)
+			if lOK2 && iOK2 && id2.Ref.Kind == VarScalar && id2.Ref.Slot == ivSlot {
+				return lit2.V, true
+			}
+		case MINUS:
+			if iOK && lOK && id.Ref.Kind == VarScalar && id.Ref.Slot == ivSlot {
+				return -lit.V, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// tryHoist registers a strength-reduced accessor for a rank-1/2
+// subscript chain inside the innermost counted loop, or returns nil
+// when the access doesn't qualify.
+func (c *compiler) tryHoist(root *Ident, subs []Expr) func(fr *frame) (*Array, int) {
+	if len(c.loops) == 0 || len(subs) < 1 || len(subs) > 2 {
+		return nil
+	}
+	// Every loop level that hoists compiles its body twice (fast +
+	// safe), so closure count can grow as 2^depth for a nest that
+	// hoists at every level. Polybench nests are ≤4 deep; past a
+	// generous bound, deeper levels fall back to checked accesses to
+	// keep compilation linear.
+	if len(c.loops) > maxHoistDepth {
+		return nil
+	}
+	lc := c.loops[len(c.loops)-1]
+	// The array binding must be stable across the loop (local array
+	// declarations in the body rebind their slot).
+	switch root.Ref.Kind {
+	case VarArray:
+		if lc.declArrays[root.Ref.Slot] {
+			return nil
+		}
+	case VarGlobalArray:
+		// Global arrays are never rebound.
+	default:
+		return nil
+	}
+	type subClass struct {
+		iv  bool
+		off int64
+	}
+	cls := make([]subClass, len(subs))
+	for i, sx := range subs {
+		if off, ok := ivAffine(sx, lc.ivSlot); ok {
+			cls[i] = subClass{iv: true, off: off}
+		} else if c.invariant(sx, lc) {
+			cls[i] = subClass{}
+		} else {
+			return nil
+		}
+	}
+	h := &hoistAccess{hslot: c.numHoist, rank: len(subs), arrGet: c.arrayRef(root)}
+	switch {
+	case len(subs) == 1 && cls[0].iv:
+		h.pattern, h.ivOff = hColIV, cls[0].off
+	case len(subs) == 1:
+		h.pattern = hAllInv
+		h.colFn = c.asInt(subs[0])
+	case cls[0].iv && cls[1].iv:
+		return nil // A[i][i+c]: diagonal walks stay on the generic path
+	case cls[1].iv:
+		h.pattern, h.ivOff = hColIV, cls[1].off
+		h.rowFn = c.asInt(subs[0])
+	case cls[0].iv:
+		h.pattern, h.ivOff = hRowIV, cls[0].off
+		h.colFn = c.asInt(subs[1])
+	default:
+		h.pattern = hAllInv
+		h.rowFn = c.asInt(subs[0])
+		h.colFn = c.asInt(subs[1])
+	}
+	c.numHoist++
+	lc.hoisted = append(lc.hoisted, h)
+	hslot := h.hslot
+	if h.pattern == hColIV {
+		ivSlot := lc.ivSlot
+		return func(fr *frame) (*Array, int) {
+			hc := &fr.hoists[hslot]
+			return hc.arr, hc.base + int(fr.scalars[ivSlot].I)
+		}
+	}
+	return func(fr *frame) (*Array, int) {
+		hc := &fr.hoists[hslot]
+		return hc.arr, hc.base
+	}
+}

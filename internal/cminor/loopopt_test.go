@@ -1,0 +1,231 @@
+package cminor
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// runBoth executes one program through the walker and the compiled
+// pipeline with separately-built args and returns both outcomes.
+func runBoth(t *testing.T, src, fn string, mkArgs func() []any) (wv, cv Value, werr, cerr error, wArgs, cArgs []any) {
+	t.Helper()
+	f := MustParse("t.c", src)
+	wArgs, cArgs = mkArgs(), mkArgs()
+	wv, werr = NewWalker(f).Call(fn, wArgs...)
+	cv, cerr = NewInterp(f).Call(fn, cArgs...)
+	return
+}
+
+func TestCountedLoopFinalInductionValue(t *testing.T) {
+	src := `
+int f(int n) {
+  int i;
+  for (i = 0; i < n; i++) { }
+  return i;
+}
+int g(int n) {
+  int i;
+  for (i = 3; i <= n; i += 1) { }
+  return i;
+}`
+	in := NewInterp(MustParse("t.c", src))
+	v, err := in.Call("f", IntV(7))
+	if err != nil || v.I != 7 {
+		t.Errorf("f(7) = %+v (%v), want i == 7 after the loop", v, err)
+	}
+	v, err = in.Call("g", IntV(7))
+	if err != nil || v.I != 8 {
+		t.Errorf("g(7) = %+v (%v), want i == 8 after the loop", v, err)
+	}
+	// Zero-trip loop: the induction variable keeps its initial value.
+	v, err = in.Call("f", IntV(0))
+	if err != nil || v.I != 0 {
+		t.Errorf("f(0) = %+v (%v), want 0", v, err)
+	}
+}
+
+// TestLoopVersioningPartialStateOnFault pins the loop-versioning
+// contract: when a hoisted subscript's preflight range check fails, the
+// loop must run the fully-checked body and fault at exactly the
+// iteration the walker would — leaving bit-identical partial state.
+func TestLoopVersioningPartialStateOnFault(t *testing.T) {
+	src := `
+void f(int n, double a[m]) {
+  int i;
+  for (i = 0; i < n; i++) {
+    a[i] = 1.0 + i;
+  }
+}`
+	mk := func() []any { return []any{IntV(15), NewArray(10)} }
+	_, _, werr, cerr, wArgs, cArgs := runBoth(t, src, "f", mk)
+	if werr == nil || cerr == nil {
+		t.Fatalf("expected out-of-bounds faults, walker=%v compiled=%v", werr, cerr)
+	}
+	if !strings.Contains(cerr.Error(), "t.c:") {
+		t.Errorf("compiled fault should be positioned, got %q", cerr)
+	}
+	wa, ca := wArgs[1].(*Array), cArgs[1].(*Array)
+	for k := range wa.Data {
+		if math.Float64bits(wa.Data[k]) != math.Float64bits(ca.Data[k]) {
+			t.Fatalf("partial state diverges at index %d: walker=%g compiled=%g",
+				k, wa.Data[k], ca.Data[k])
+		}
+	}
+	if wa.At(9) != 10.0 {
+		t.Errorf("iterations before the fault should have run: a[9] = %g, want 10", wa.At(9))
+	}
+}
+
+// TestLoopBoundMutatedInBody: a bound that the body modifies is not
+// invariant, so the loop must stay on the generic (re-evaluating) path.
+func TestLoopBoundMutatedInBody(t *testing.T) {
+	src := `
+int f(int n) {
+  int i;
+  int trips = 0;
+  for (i = 0; i < n; i++) {
+    n = n - 1;
+    trips = trips + 1;
+  }
+  return trips * 100 + i * 10 + n;
+}`
+	wv, cv, werr, cerr, _, _ := runBoth(t, src, "f", func() []any { return []any{IntV(10)} })
+	if werr != nil || cerr != nil {
+		t.Fatalf("unexpected errors: walker=%v compiled=%v", werr, cerr)
+	}
+	if !sameValue(wv, cv) {
+		t.Fatalf("divergence: walker=%+v compiled=%+v", wv, cv)
+	}
+}
+
+// TestHoistedZeroTripLoop: a zero-iteration loop must not evaluate any
+// hoisted subscript (the row index would be out of range).
+func TestHoistedZeroTripLoop(t *testing.T) {
+	src := `
+double f(int n, int lim, double A[n][n]) {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < lim; i++) {
+    s += A[n + 5][i];
+  }
+  return s;
+}`
+	in := NewInterp(MustParse("t.c", src))
+	v, err := in.Call("f", IntV(4), IntV(0), NewArray(4, 4))
+	if err != nil {
+		t.Fatalf("zero-trip loop must not fault on hoisted row check: %v", err)
+	}
+	if v.Float() != 0 {
+		t.Errorf("got %g, want 0", v.Float())
+	}
+	// With one iteration the same access must fault, positioned.
+	_, err = in.Call("f", IntV(4), IntV(1), NewArray(4, 4))
+	if err == nil || !strings.Contains(err.Error(), "t.c:") {
+		t.Errorf("expected positioned out-of-range fault, got %v", err)
+	}
+}
+
+// TestLoopBoundMutatedInVLADim: a scalar write hidden inside a local
+// array's dimension expression still invalidates bound invariance (the
+// AST walk must traverse declaration dims).
+func TestLoopBoundMutatedInVLADim(t *testing.T) {
+	src := `
+double f() {
+  int m = 5;
+  int i;
+  double s = 0.0;
+  for (i = 0; i < m; i++) {
+    double T[m = m - 1];
+    s = s + 1.0;
+  }
+  return s;
+}`
+	wv, cv, werr, cerr, _, _ := runBoth(t, src, "f", func() []any { return nil })
+	if werr != nil || cerr != nil {
+		t.Fatalf("unexpected errors: walker=%v compiled=%v", werr, cerr)
+	}
+	if !sameValue(wv, cv) {
+		t.Fatalf("divergence: walker=%+v compiled=%+v", wv, cv)
+	}
+	if cv.Float() != 3.0 {
+		t.Errorf("got %g, want 3 (bound shrinks each iteration)", cv.Float())
+	}
+}
+
+// TestHoistRangeCheckOverflow: a near-MaxInt64 loop bound must not wrap
+// the preflight range check into accepting the fast path — the fault
+// must stay a positioned Diag, exactly like the generic path.
+func TestHoistRangeCheckOverflow(t *testing.T) {
+	src := `
+double f(double a[10]) {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < 9223372036854775807; i++) {
+    s = s + a[i + 2];
+  }
+  return s;
+}`
+	_, _, werr, cerr, _, _ := runBoth(t, src, "f", func() []any { return []any{NewArray(10)} })
+	if werr == nil || cerr == nil {
+		t.Fatalf("expected out-of-range faults, walker=%v compiled=%v", werr, cerr)
+	}
+	if !strings.Contains(werr.Error(), "index 10 out of range") {
+		t.Errorf("walker fault should be the range error, got %q", werr)
+	}
+	// The compiled fault must be the positioned Diag from the checked
+	// subscript, not a raw Go slice panic out of the fast path.
+	if !strings.Contains(cerr.Error(), "index 10 out of range") ||
+		!strings.Contains(cerr.Error(), "t.c:") {
+		t.Errorf("compiled fault should be the positioned range error, got %q", cerr)
+	}
+}
+
+// TestStrengthReducedPatternsParity exercises all three hoist patterns
+// (column-affine, row-affine, fully invariant) plus negative-offset
+// stencils against the walker.
+func TestStrengthReducedPatternsParity(t *testing.T) {
+	src := `
+void f(int n, double A[n][n], double B[n][n], double v[n]) {
+  int i, j, k;
+  for (i = 1; i < n - 1; i++) {
+    for (j = 1; j < n - 1; j++) {
+      A[i][j] += B[i][j - 1] + B[i][j + 1];
+      A[j][i] += B[j - 1][i];
+      v[j] += A[i][i + 1];
+    }
+    v[i] = v[i - 1] + v[i + 1];
+  }
+  for (k = 0; k < n; k++) {
+    A[0][k] += v[k];
+    A[k][0] -= v[k];
+  }
+}`
+	mk := func() []any {
+		n := 9
+		A, B, v := NewArray(n, n), NewArray(n, n), NewArray(n)
+		for i := range A.Data {
+			A.Data[i] = float64(i%7) * 0.5
+		}
+		for i := range B.Data {
+			B.Data[i] = float64(i%5) * 1.25
+		}
+		for i := range v.Data {
+			v.Data[i] = float64(i) * 0.75
+		}
+		return []any{IntV(9), A, B, v}
+	}
+	_, _, werr, cerr, wArgs, cArgs := runBoth(t, src, "f", mk)
+	if werr != nil || cerr != nil {
+		t.Fatalf("unexpected errors: walker=%v compiled=%v", werr, cerr)
+	}
+	for i := 1; i < len(wArgs); i++ {
+		wa, ca := wArgs[i].(*Array), cArgs[i].(*Array)
+		for k := range wa.Data {
+			if math.Float64bits(wa.Data[k]) != math.Float64bits(ca.Data[k]) {
+				t.Fatalf("array %d diverges at %d: walker=%g compiled=%g",
+					i, k, wa.Data[k], ca.Data[k])
+			}
+		}
+	}
+}

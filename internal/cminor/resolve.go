@@ -1,7 +1,8 @@
 package cminor
 
 // The resolver is the first stage of the compiled execution pipeline
-// (resolve → compile → execute). It walks the AST exactly once, binds
+// (resolve → typecheck → compile → execute). It walks the AST exactly
+// once, binds
 // every identifier to a numbered frame slot (annotating the AST with
 // VarRefs), checks arity/rank/lvalue rules, and evaluates constant array
 // dimensions, so the later stages never consult names or re-discover
@@ -122,7 +123,7 @@ func (r *resolver) global(res *ResolvedFile, g *DeclStmt) {
 			}
 			dims[i] = int(v.Int())
 		}
-		ref := VarRef{Kind: VarGlobalArray, Slot: len(res.Arrays)}
+		ref := VarRef{Kind: VarGlobalArray, Slot: len(res.Arrays), Base: g.Type.Kind}
 		res.Arrays = append(res.Arrays, GlobalArray{Name: g.Name, Dims: dims})
 		g.Ref = ref
 		r.scopes[0][g.Name] = &symbol{ref: ref, rank: len(dims), kind: g.Type.Kind}
@@ -137,7 +138,7 @@ func (r *resolver) global(res *ResolvedFile, g *DeclStmt) {
 			init = v
 		}
 	}
-	ref := VarRef{Kind: VarGlobalScalar, Slot: len(res.Scalars)}
+	ref := VarRef{Kind: VarGlobalScalar, Slot: len(res.Scalars), Base: g.Type.Kind}
 	res.Scalars = append(res.Scalars, GlobalScalar{Name: g.Name, Kind: g.Type.Kind,
 		Init: convertKind(init, g.Type.Kind)})
 	g.Ref = ref
@@ -150,15 +151,15 @@ func (r *resolver) alloc(t *Type) VarRef {
 	case t.IsArray():
 		s := r.cur.NumArrays
 		r.cur.NumArrays++
-		return VarRef{Kind: VarArray, Slot: s}
+		return VarRef{Kind: VarArray, Slot: s, Base: t.Kind}
 	case t.Ptr:
 		s := r.cur.NumCells
 		r.cur.NumCells++
-		return VarRef{Kind: VarCell, Slot: s}
+		return VarRef{Kind: VarCell, Slot: s, Base: t.Kind}
 	default:
 		s := r.cur.NumScalars
 		r.cur.NumScalars++
-		return VarRef{Kind: VarScalar, Slot: s}
+		return VarRef{Kind: VarScalar, Slot: s, Base: t.Kind}
 	}
 }
 
@@ -506,7 +507,7 @@ func constEval(e Expr) (Value, bool) {
 			if (e.Op == SLASH || e.Op == PERCENT) && x.IsInt && y.IsInt && y.I == 0 {
 				return Value{}, false
 			}
-			return arith(e.Op, x, y), true
+			return arith(e.Op, x, y, "", Pos{}), true
 		case EQ, NEQ, LT, GT, LEQ, GEQ:
 			return compare(e.Op, x, y), true
 		}

@@ -1,0 +1,127 @@
+package cminor
+
+import "testing"
+
+func resolveForTest(t *testing.T, src string) *ResolvedFile {
+	t.Helper()
+	res, err := Resolve(MustParse("t.c", src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// scalarKindOf finds the inferred kind of a named local/param scalar by
+// re-walking the function body for its declaration slot.
+func scalarKindOf(t *testing.T, res *ResolvedFile, ti *typeInfo, fn, name string) kind {
+	t.Helper()
+	fi := res.Funcs[fn]
+	var ref *VarRef
+	for i, p := range fi.Decl.Params {
+		if p.Name == name {
+			r := fi.Params[i]
+			ref = &r
+		}
+	}
+	Walk(fi.Decl.Body, func(n Node) bool {
+		if d, ok := n.(*DeclStmt); ok && d.Name == name {
+			r := d.Ref
+			ref = &r
+		}
+		return true
+	})
+	if ref == nil || ref.Kind != VarScalar {
+		t.Fatalf("no scalar %q in %s", name, fn)
+	}
+	return ti.funcs[fn].scalars[ref.Slot]
+}
+
+func TestTypecheckStableKinds(t *testing.T) {
+	res := resolveForTest(t, `
+double f(int n, double x) {
+  int i = 0;
+  double s = 0.0;
+  for (i = 0; i < n; i++) {
+    s += x * 2.0;
+    s = s * 0.5;
+  }
+  return s;
+}`)
+	ti := typecheck(res)
+	if k := scalarKindOf(t, res, ti, "f", "i"); k != kInt {
+		t.Errorf("i inferred as %s, want int", k)
+	}
+	if k := scalarKindOf(t, res, ti, "f", "s"); k != kFloat {
+		t.Errorf("s inferred as %s, want double", k)
+	}
+	if k := ti.results["f"]; k != kFloat {
+		t.Errorf("result of f inferred as %s, want double", k)
+	}
+}
+
+func TestTypecheckDoubleDemotesOnIntStore(t *testing.T) {
+	// "s = 1" stores an int Value into the double slot at runtime (the
+	// walker-pinned assignment rule), so s cannot stay statically float.
+	res := resolveForTest(t, `
+double f() {
+  double s = 0.0;
+  s = 1;
+  s += 0.5;
+  return s;
+}`)
+	ti := typecheck(res)
+	if k := scalarKindOf(t, res, ti, "f", "s"); k != kDyn {
+		t.Errorf("s inferred as %s, want dyn after int store", k)
+	}
+	// Int variables never demote: stores into int slots coerce.
+	res2 := resolveForTest(t, "int g() {\n  int s = 0;\n  s = 2.5;\n  return s;\n}")
+	ti2 := typecheck(res2)
+	if k := scalarKindOf(t, res2, ti2, "g", "s"); k != kInt {
+		t.Errorf("int s inferred as %s, want int despite float store", k)
+	}
+}
+
+func TestTypecheckCellEscapeDemotes(t *testing.T) {
+	// A double whose address is passed to a pointer parameter can be
+	// stored through with any kind by the callee.
+	res := resolveForTest(t, `
+void set(double *p) { p = 1; }
+double f() {
+  double x = 0.0;
+  double y = 0.0;
+  set(&x);
+  return x + y;
+}`)
+	ti := typecheck(res)
+	if k := scalarKindOf(t, res, ti, "f", "x"); k != kDyn {
+		t.Errorf("escaped x inferred as %s, want dyn", k)
+	}
+	if k := scalarKindOf(t, res, ti, "f", "y"); k != kFloat {
+		t.Errorf("non-escaped y inferred as %s, want double", k)
+	}
+}
+
+func TestTypecheckResultKinds(t *testing.T) {
+	res := resolveForTest(t, `
+int always(int a) {
+  if (a > 0) { return 1; }
+  return 0;
+}
+int mayFallOff(int a) {
+  if (a > 0) { return 1; }
+}
+double callsInt(int a) { return always(a) + 0.5; }
+`)
+	ti := typecheck(res)
+	if k := ti.results["always"]; k != kInt {
+		t.Errorf("always: result %s, want int", k)
+	}
+	// Falling off the end returns the zero Value (float 0), so the
+	// result cannot be statically int.
+	if k := ti.results["mayFallOff"]; k != kDyn {
+		t.Errorf("mayFallOff: result %s, want dyn", k)
+	}
+	if k := ti.results["callsInt"]; k != kFloat {
+		t.Errorf("callsInt: result %s, want double", k)
+	}
+}

@@ -111,25 +111,28 @@ func (a *Array) Set(v float64, idx ...int) {
 }
 
 // applyCompound applies a possibly-compound assignment operator.
-func applyCompound(op TokenKind, old, rhs Value) Value {
+// Division faults surface as positioned *Diag panics (recovered into
+// errors by the interpreter entry points), honouring the file:line:col
+// contract of every other runtime fault.
+func applyCompound(op TokenKind, old, rhs Value, file string, p Pos) Value {
 	switch op {
 	case ASSIGN:
 		return rhs
 	case ADDASSIGN:
-		return arith(PLUS, old, rhs)
+		return arith(PLUS, old, rhs, file, p)
 	case SUBASSIGN:
-		return arith(MINUS, old, rhs)
+		return arith(MINUS, old, rhs, file, p)
 	case MULASSIGN:
-		return arith(STAR, old, rhs)
+		return arith(STAR, old, rhs, file, p)
 	case DIVASSIGN:
-		return arith(SLASH, old, rhs)
+		return arith(SLASH, old, rhs, file, p)
 	case MODASSIGN:
-		return arith(PERCENT, old, rhs)
+		return arith(PERCENT, old, rhs, file, p)
 	}
 	panic(fmt.Sprintf("unsupported assignment op %s", op))
 }
 
-func arith(op TokenKind, x, y Value) Value {
+func arith(op TokenKind, x, y Value, file string, p Pos) Value {
 	if x.IsInt && y.IsInt {
 		switch op {
 		case PLUS:
@@ -140,12 +143,12 @@ func arith(op TokenKind, x, y Value) Value {
 			return IntV(x.I * y.I)
 		case SLASH:
 			if y.I == 0 {
-				panic("integer division by zero")
+				panic(diagf(file, p, "integer division by zero"))
 			}
 			return IntV(x.I / y.I)
 		case PERCENT:
 			if y.I == 0 {
-				panic("integer modulo by zero")
+				panic(diagf(file, p, "integer modulo by zero"))
 			}
 			return IntV(x.I % y.I)
 		}
@@ -206,7 +209,10 @@ func compare(op TokenKind, x, y Value) Value {
 	return IntV(0)
 }
 
-// builtins are the math functions available to kernels.
+// builtins are the math functions available to kernels. Contract: a
+// builtin receives the evaluated arguments as raw (unconverted) Values
+// and must return a float Value — the typechecker statically kinds
+// every builtin call as double, and both backends rely on that.
 var builtins = map[string]func(args []Value) Value{
 	"sqrt":  func(a []Value) Value { return FloatV(math.Sqrt(a[0].Float())) },
 	"fabs":  func(a []Value) Value { return FloatV(math.Abs(a[0].Float())) },

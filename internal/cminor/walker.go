@@ -261,11 +261,11 @@ func (w *Walker) eval(e Expr, fr *wframe) Value {
 		cell, arr, idx := w.lvalue(e.LHS, fr)
 		if arr != nil {
 			old := FloatV(arr.At(idx...))
-			nv := applyCompound(e.Op, old, rhs)
+			nv := applyCompound(e.Op, old, rhs, w.file.Name, e.P)
 			arr.Set(nv.Float(), idx...)
 			return nv
 		}
-		nv := applyCompound(e.Op, *cell, rhs)
+		nv := applyCompound(e.Op, *cell, rhs, w.file.Name, e.P)
 		if cell.IsInt {
 			nv = IntV(nv.Int())
 		}
@@ -326,7 +326,7 @@ func (w *Walker) evalBin(e *BinExpr, fr *wframe) Value {
 	y := w.eval(e.Y, fr)
 	switch e.Op {
 	case PLUS, MINUS, STAR, SLASH, PERCENT:
-		return arith(e.Op, x, y)
+		return arith(e.Op, x, y, w.file.Name, e.P)
 	case EQ, NEQ, LT, GT, LEQ, GEQ:
 		return compare(e.Op, x, y)
 	}
