@@ -2,10 +2,10 @@
 # PRs: it writes the full benchmark event stream (go test -json) to
 # BENCH_$(PR).json so successive PRs can be diffed.
 
-PR ?= 2
+PR ?= 3
 BENCHCOUNT ?= 5
 
-.PHONY: all build test vet fmt bench bench-smoke
+.PHONY: all build test test-race vet fmt bench bench-smoke
 
 all: build test
 
@@ -15,13 +15,19 @@ build:
 test:
 	go test ./...
 
+test-race:
+	go test -race ./...
+
 vet:
 	go vet ./...
 
 fmt:
 	test -z "$$(gofmt -l .)" || { gofmt -l .; exit 1; }
 
-# Full benchmark sweep, recorded as JSON for cross-PR tracking.
+# Full benchmark sweep, recorded as JSON for cross-PR tracking. The
+# `-bench .` regex includes the *Parallel benchmarks (shared-Program
+# Instances across GOMAXPROCS goroutines) alongside the single-thread
+# walker/compiled pairs.
 bench:
 	go test ./internal/cminor -run '^$$' -bench . -benchmem -count=$(BENCHCOUNT) -json > BENCH_$(PR).json
 	@echo "wrote BENCH_$(PR).json"

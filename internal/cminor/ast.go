@@ -7,6 +7,15 @@ type Node interface {
 	Pos() Pos
 }
 
+// NodeID identifies an annotatable AST node (Ident, DeclStmt, CallExpr)
+// within its File. IDs are assigned densely by the parser so semantic
+// passes can record their results in side tables indexed by ID instead
+// of writing into the tree — the AST stays immutable after parse, which
+// is what lets one *File be compiled (and one *Program be shared)
+// concurrently. Clones preserve IDs; a full File.Clone therefore keeps
+// them unique, but splicing cloned subtrees into another file does not.
+type NodeID int32
+
 // BasicKind enumerates scalar base types.
 type BasicKind int
 
@@ -126,12 +135,15 @@ func clonePragmas(ps []*Pragma) []*Pragma {
 	return out
 }
 
-// File is a parsed translation unit.
+// File is a parsed translation unit. NumIDs is the number of NodeIDs
+// the parser assigned; side tables produced by the semantic passes are
+// sized by it.
 type File struct {
 	Name    string
 	Funcs   []*FuncDecl
 	Globals []*DeclStmt
 	P       Pos
+	NumIDs  int
 }
 
 // Pos returns the file position.
@@ -147,9 +159,10 @@ func (f *File) Func(name string) *FuncDecl {
 	return nil
 }
 
-// Clone deep-copies the file.
+// Clone deep-copies the file. NodeIDs are preserved, so the clone can
+// be resolved and compiled independently of the original.
 func (f *File) Clone() *File {
-	c := &File{Name: f.Name, P: f.P}
+	c := &File{Name: f.Name, P: f.P, NumIDs: f.NumIDs}
 	for _, g := range f.Globals {
 		c.Globals = append(c.Globals, CloneStmt(g).(*DeclStmt))
 	}
@@ -210,13 +223,14 @@ type Block struct {
 }
 
 // DeclStmt declares a single variable (comma declarations are split by
-// the parser). Ref is filled in by the resolver.
+// the parser). The resolver records the declared slot in the
+// ResolvedFile's side table under ID.
 type DeclStmt struct {
 	Name string
 	Type *Type
 	Init Expr
 	P    Pos
-	Ref  VarRef
+	ID   NodeID
 }
 
 // ExprStmt evaluates an expression for its side effects.
@@ -321,22 +335,25 @@ func (k VarKind) String() string {
 }
 
 // VarRef is a resolved slot reference: the storage class of a variable
-// plus its index within that class's slot space. The resolver annotates
-// Ident and DeclStmt nodes with VarRefs so the compiler can lower every
-// access to an array-indexed frame read instead of a map lookup. Base is
-// the declared scalar base kind (int/double), which seeds the typecheck
-// pass that drives the unboxed evaluator specialization.
+// plus its index within that class's slot space. The resolver records a
+// VarRef for every Ident and DeclStmt in a side table keyed by NodeID
+// (see ResolvedFile.RefOf) so the compiler can lower every access to an
+// array-indexed frame read instead of a map lookup — without mutating
+// the AST. Base is the declared scalar base kind (int/double), which
+// seeds the typecheck pass that drives the unboxed evaluator
+// specialization.
 type VarRef struct {
 	Kind VarKind
 	Slot int
 	Base BasicKind
 }
 
-// Ident is a variable reference. Ref is filled in by the resolver.
+// Ident is a variable reference; its resolved slot lives in the
+// ResolvedFile's side table under ID.
 type Ident struct {
 	Name string
 	P    Pos
-	Ref  VarRef
+	ID   NodeID
 }
 
 // IntLit is an integer literal.
@@ -392,13 +409,14 @@ type IndexExpr struct {
 	P   Pos
 }
 
-// CallExpr is a function call by name. RBuiltin is set by the resolver
-// when Fun names one of the math builtins rather than a user function.
+// CallExpr is a function call by name. Whether Fun names a math builtin
+// rather than a user function is recorded by the resolver in a side
+// table under ID.
 type CallExpr struct {
-	Fun      string
-	Args     []Expr
-	P        Pos
-	RBuiltin bool
+	Fun  string
+	Args []Expr
+	P    Pos
+	ID   NodeID
 }
 
 // CondExpr is the ternary operator c ? t : f.
@@ -453,8 +471,7 @@ func CloneExpr(e Expr) Expr {
 	case nil:
 		return nil
 	case *Ident:
-		c := *e
-		c.Ref = VarRef{} // clones start unannotated; Compile re-resolves
+		c := *e // the NodeID comes along; annotations live outside the AST
 		return &c
 	case *IntLit:
 		c := *e
@@ -473,7 +490,7 @@ func CloneExpr(e Expr) Expr {
 	case *IndexExpr:
 		return &IndexExpr{X: CloneExpr(e.X), Idx: CloneExpr(e.Idx), P: e.P}
 	case *CallExpr:
-		c := &CallExpr{Fun: e.Fun, P: e.P}
+		c := &CallExpr{Fun: e.Fun, P: e.P, ID: e.ID}
 		for _, a := range e.Args {
 			c.Args = append(c.Args, CloneExpr(a))
 		}
@@ -501,7 +518,8 @@ func CloneStmt(s Stmt) Stmt {
 		}
 		return c
 	case *DeclStmt:
-		return &DeclStmt{Name: s.Name, Type: s.Type.clone(), Init: CloneExpr(s.Init), P: s.P}
+		return &DeclStmt{Name: s.Name, Type: s.Type.clone(), Init: CloneExpr(s.Init),
+			P: s.P, ID: s.ID}
 	case *ExprStmt:
 		return &ExprStmt{X: CloneExpr(s.X), P: s.P}
 	case *ForStmt:

@@ -316,3 +316,43 @@ func BenchmarkCompileGemm(b *testing.B) {
 		}
 	}
 }
+
+// Parallel benchmarks: one immutable *Program shared by every
+// goroutine, one pooled Instance (and argument set) per goroutine.
+// Throughput should scale with GOMAXPROCS since instances share no
+// mutable state.
+
+func benchParallel(b *testing.B, src, file, fn string, mkArgs func() []any) {
+	b.Helper()
+	prog, err := Compile(MustParse(file, src), WithMaxSteps(1<<62))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		inst := prog.NewInstance()
+		args := mkArgs()
+		for pb.Next() {
+			if _, err := inst.Call(fn, args...); err != nil {
+				// b.Fatal must not run on a RunParallel worker goroutine.
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkGemmParallel(b *testing.B) {
+	benchParallel(b, benchGemmSrc, "gemm.c", "gemm", func() []any { return benchGemmArgs(32) })
+}
+
+func BenchmarkJacobiParallel(b *testing.B) {
+	benchParallel(b, benchJacobiSrc, "jacobi.c", "jacobi", func() []any { return benchJacobiArgs(48) })
+}
+
+func BenchmarkAxpyParallel(b *testing.B) {
+	benchParallel(b, benchAxpySrc, "axpy.c", "axpy", func() []any {
+		return []any{IntV(4096), FloatV(2.0), benchVector(4096), benchVector(4096)}
+	})
+}

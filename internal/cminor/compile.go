@@ -34,9 +34,15 @@ import (
 //
 // Each function is compiled twice: the specialized body (used for every
 // internal call and every well-kinded entry call) and a generic body
-// that Interp.Call falls back to when an entry binding breaks a declared
-// parameter kind (e.g. a raw *Value of the wrong kind), which the old
-// interpreter permitted.
+// that entry calls fall back to when an argument binding breaks a
+// declared parameter kind (e.g. a raw *Value of the wrong kind), which
+// the old interpreter permitted. Which passes run is selected per
+// Program variant by OptLevel (see engine.go): O0 uses only the generic
+// body, O1 adds the typed specialization, O2 adds the loop optimizer.
+//
+// The compiler reads the AST and the resolver/typecheck side tables but
+// writes neither: lowering the same resolved file repeatedly — even
+// concurrently — is safe, which is what Program.Variant relies on.
 
 // flow is the statement-level control-flow result.
 type flow uint8
@@ -66,9 +72,10 @@ type hoistCell struct {
 // frame is the slot-indexed activation record of one compiled call. The
 // three slices are the storage classes assigned by the resolver; every
 // variable access is a constant-index load/store. hoists holds the
-// loop optimizer's strength-reduction state.
+// loop optimizer's strength-reduction state. Frames are pooled per
+// Instance (its ec field) and recycled between calls.
 type frame struct {
-	in      *Interp
+	ec      *Instance
 	scalars []Value
 	cells   []*Value
 	arrays  []*Array
@@ -76,7 +83,7 @@ type frame struct {
 	ret     Value
 }
 
-// globalStore holds per-Interp storage for file-scope variables.
+// globalStore holds per-Instance storage for file-scope variables.
 type globalStore struct {
 	scalars []Value
 	arrays  []*Array
@@ -84,71 +91,16 @@ type globalStore struct {
 
 // compiledFunc pairs a function's resolver summary with its compiled
 // bodies. Bodies are filled in after all shells exist so (mutually)
-// recursive calls can capture the shell pointer. body is the typed
-// specialization; generic is the kind-agnostic fallback Interp.Call uses
-// when an entry binding violates a declared parameter kind.
+// recursive calls can capture the shell pointer. body is the variant's
+// best lowering; generic is the kind-agnostic fallback entry calls use
+// when an argument binding violates a declared parameter kind. idx
+// names the function's frame pool within an Instance.
 type compiledFunc struct {
 	info     *FuncInfo
+	idx      int
 	body     stmtFn
 	generic  stmtFn
 	numHoist int
-}
-
-// Program is a compiled C-minor translation unit, reusable across
-// interpreter instances.
-type Program struct {
-	res   *ResolvedFile
-	fname string
-	funcs map[string]*compiledFunc
-}
-
-// Compile resolves, typechecks and lowers f. All diagnostics carry
-// file:line:col. Resolution annotates f in place (Ident.Ref,
-// DeclStmt.Ref, CallExpr.RBuiltin), so compiling the same *File from
-// multiple goroutines is not safe — Clone the file first when sharing.
-func Compile(f *File) (*Program, error) {
-	res, err := Resolve(f)
-	if err != nil {
-		return nil, err
-	}
-	ti := typecheck(res)
-	p := &Program{res: res, fname: f.Name, funcs: map[string]*compiledFunc{}}
-	for name, info := range res.Funcs {
-		p.funcs[name] = &compiledFunc{info: info}
-	}
-	for name, cf := range p.funcs {
-		ct := &compiler{prog: p, types: ti.funcs[name], info: ti}
-		cf.body = ct.block(cf.info.Decl.Body)
-		cf.numHoist = ct.numHoist
-		cg := &compiler{prog: p}
-		cf.generic = cg.block(cf.info.Decl.Body)
-	}
-	return p, nil
-}
-
-// newGlobals allocates and initialises a global store for one Interp.
-func (p *Program) newGlobals() *globalStore {
-	g := &globalStore{}
-	for _, gs := range p.res.Scalars {
-		g.scalars = append(g.scalars, gs.Init)
-	}
-	for _, ga := range p.res.Arrays {
-		g.arrays = append(g.arrays, NewArray(ga.Dims...))
-	}
-	return g
-}
-
-func newFrame(in *Interp, cf *compiledFunc) *frame {
-	fr := &frame{
-		in:      in,
-		scalars: make([]Value, cf.info.NumScalars),
-		cells:   make([]*Value, cf.info.NumCells),
-		arrays:  make([]*Array, cf.info.NumArrays),
-	}
-	if cf.numHoist > 0 {
-		fr.hoists = make([]hoistCell, cf.numHoist)
-	}
-	return fr
 }
 
 // rtPanic raises a positioned runtime diagnostic; Interp.Call recovers it
@@ -163,12 +115,24 @@ type compiler struct {
 	// compiled; both nil compiles the generic (kind-agnostic) body.
 	types *fnTypes
 	info  *typeInfo
+	// opt gates the loop optimizer (O2 only); the generic body always
+	// compiles as if O0.
+	opt OptLevel
 	// numHoist counts strength-reduction slots handed out in this body.
 	numHoist int
 	// loops is the stack of active counted-loop contexts; elemFn
 	// registers hoistable subscripts against the innermost one.
 	loops []*loopCtx
 }
+
+// refOf reads an identifier's resolved slot from the side table.
+func (c *compiler) refOf(e *Ident) VarRef { return c.prog.res.refs[e.ID] }
+
+// declRef reads a declaration's resolved slot from the side table.
+func (c *compiler) declRef(s *DeclStmt) VarRef { return c.prog.res.refs[s.ID] }
+
+// isBuiltin reports whether the resolver marked e as a math builtin.
+func (c *compiler) isBuiltin(e *CallExpr) bool { return c.prog.res.builtins[e.ID] }
 
 // kindOf returns the static kind the typechecker assigned to e (kDyn in
 // generic mode or for untyped nodes).
@@ -224,7 +188,7 @@ func (c *compiler) stmt(s Stmt) stmtFn {
 	case *Block:
 		inner := c.block(s)
 		return func(fr *frame) flow {
-			fr.in.step()
+			fr.ec.step()
 			return inner(fr)
 		}
 	case *DeclStmt:
@@ -232,7 +196,7 @@ func (c *compiler) stmt(s Stmt) stmtFn {
 	case *ExprStmt:
 		x := c.exprVoid(s.X)
 		return func(fr *frame) flow {
-			fr.in.step()
+			fr.ec.step()
 			x(fr)
 			return flowNormal
 		}
@@ -242,12 +206,12 @@ func (c *compiler) stmt(s Stmt) stmtFn {
 		cond := c.boolExpr(s.Cond)
 		body := c.block(s.Body)
 		return func(fr *frame) flow {
-			fr.in.step()
+			fr.ec.step()
 			for cond(fr) {
 				if f := body(fr); f != flowNormal {
 					return f
 				}
-				fr.in.step()
+				fr.ec.step()
 			}
 			return flowNormal
 		}
@@ -259,7 +223,7 @@ func (c *compiler) stmt(s Stmt) stmtFn {
 			els = c.stmt(s.Else)
 		}
 		return func(fr *frame) flow {
-			fr.in.step()
+			fr.ec.step()
 			if cond(fr) {
 				return then(fr)
 			}
@@ -274,7 +238,7 @@ func (c *compiler) stmt(s Stmt) stmtFn {
 			x = c.expr(s.X)
 		}
 		return func(fr *frame) flow {
-			fr.in.step()
+			fr.ec.step()
 			if x != nil {
 				fr.ret = x(fr)
 			} else {
@@ -284,7 +248,7 @@ func (c *compiler) stmt(s Stmt) stmtFn {
 		}
 	case *PragmaStmt:
 		return func(fr *frame) flow {
-			fr.in.step()
+			fr.ec.step()
 			return flowNormal
 		}
 	}
@@ -293,16 +257,17 @@ func (c *compiler) stmt(s Stmt) stmtFn {
 }
 
 func (c *compiler) declStmt(s *DeclStmt) stmtFn {
+	ref := c.declRef(s)
 	if s.Type.IsArray() {
-		slot := s.Ref.Slot
-		if s.Ref.Kind != VarArray {
-			c.bug(s.P, "array decl %q resolved as %s", s.Name, s.Ref.Kind)
+		slot := ref.Slot
+		if ref.Kind != VarArray {
+			c.bug(s.P, "array decl %q resolved as %s", s.Name, ref.Kind)
 		}
 		// Constant dimensions are folded at compile time; VLA-style dims
 		// ("double tmp[n]") are evaluated at declaration time.
 		if dims, ok := constDims(s.Type.Dims); ok {
 			return func(fr *frame) flow {
-				fr.in.step()
+				fr.ec.step()
 				fr.arrays[slot] = NewArray(dims...)
 				return flowNormal
 			}
@@ -312,7 +277,7 @@ func (c *compiler) declStmt(s *DeclStmt) stmtFn {
 			dimFns[i] = c.asInt(d)
 		}
 		return func(fr *frame) flow {
-			fr.in.step()
+			fr.ec.step()
 			dims := make([]int, len(dimFns))
 			for i, df := range dimFns {
 				dims[i] = int(df(fr))
@@ -321,8 +286,8 @@ func (c *compiler) declStmt(s *DeclStmt) stmtFn {
 			return flowNormal
 		}
 	}
-	slot := s.Ref.Slot
-	switch s.Ref.Kind {
+	slot := ref.Slot
+	switch ref.Kind {
 	case VarScalar:
 		// Declarations normalize to the declared kind (C initialisation
 		// conversion), so the stores are emitted unboxed.
@@ -332,7 +297,7 @@ func (c *compiler) declStmt(s *DeclStmt) stmtFn {
 				init = c.asInt(s.Init)
 			}
 			return func(fr *frame) flow {
-				fr.in.step()
+				fr.ec.step()
 				var v int64
 				if init != nil {
 					v = init(fr)
@@ -346,7 +311,7 @@ func (c *compiler) declStmt(s *DeclStmt) stmtFn {
 			init = c.asFloat(s.Init)
 		}
 		return func(fr *frame) flow {
-			fr.in.step()
+			fr.ec.step()
 			var v float64
 			if init != nil {
 				v = init(fr)
@@ -362,7 +327,7 @@ func (c *compiler) declStmt(s *DeclStmt) stmtFn {
 		}
 		kindC := s.Type.Kind
 		return func(fr *frame) flow {
-			fr.in.step()
+			fr.ec.step()
 			var v Value
 			if init != nil {
 				v = init(fr)
@@ -372,7 +337,7 @@ func (c *compiler) declStmt(s *DeclStmt) stmtFn {
 			return flowNormal
 		}
 	}
-	c.bug(s.P, "scalar decl %q resolved as %s", s.Name, s.Ref.Kind)
+	c.bug(s.P, "scalar decl %q resolved as %s", s.Name, ref.Kind)
 	return nil
 }
 
@@ -389,7 +354,7 @@ func constDims(dims []Expr) ([]int, bool) {
 }
 
 func (c *compiler) forStmt(s *ForStmt) stmtFn {
-	if c.types != nil {
+	if c.types != nil && c.opt >= O2 {
 		if fn := c.countedLoop(s); fn != nil {
 			return fn
 		}
@@ -408,7 +373,7 @@ func (c *compiler) forStmt(s *ForStmt) stmtFn {
 	}
 	body := c.block(s.Body)
 	return func(fr *frame) flow {
-		fr.in.step()
+		fr.ec.step()
 		if init != nil {
 			if f := init(fr); f != flowNormal {
 				return f
@@ -421,7 +386,7 @@ func (c *compiler) forStmt(s *ForStmt) stmtFn {
 			if post != nil {
 				post(fr)
 			}
-			fr.in.step()
+			fr.ec.step()
 		}
 		return flowNormal
 	}
@@ -601,12 +566,13 @@ func (c *compiler) intExpr(e Expr) evalIntFn {
 		n := e.V
 		return func(*frame) int64 { return n }
 	case *Ident:
-		slot := e.Ref.Slot
-		switch e.Ref.Kind {
+		ref := c.refOf(e)
+		slot := ref.Slot
+		switch ref.Kind {
 		case VarScalar:
 			return func(fr *frame) int64 { return fr.scalars[slot].I }
 		case VarGlobalScalar:
-			return func(fr *frame) int64 { return fr.in.g.scalars[slot].I }
+			return func(fr *frame) int64 { return fr.ec.g.scalars[slot].I }
 		}
 	case *ParenExpr:
 		return c.intExpr(e.X)
@@ -810,12 +776,13 @@ func (c *compiler) floatExpr(e Expr) evalFloatFn {
 		f := e.V
 		return func(*frame) float64 { return f }
 	case *Ident:
-		slot := e.Ref.Slot
-		switch e.Ref.Kind {
+		ref := c.refOf(e)
+		slot := ref.Slot
+		switch ref.Kind {
 		case VarScalar:
 			return func(fr *frame) float64 { return fr.scalars[slot].F }
 		case VarGlobalScalar:
-			return func(fr *frame) float64 { return fr.in.g.scalars[slot].F }
+			return func(fr *frame) float64 { return fr.ec.g.scalars[slot].F }
 		}
 	case *ParenExpr:
 		return c.floatExpr(e.X)
@@ -891,7 +858,7 @@ func (c *compiler) floatExpr(e Expr) evalFloatFn {
 			return old
 		}
 	case *CallExpr:
-		if e.RBuiltin {
+		if c.isBuiltin(e) {
 			return c.floatBuiltin(e)
 		}
 		call := c.call(e)
@@ -1096,44 +1063,47 @@ func (c *compiler) dynExpr(e Expr) evalFn {
 
 // identLoad compiles a scalar variable read to a direct slot access.
 func (c *compiler) identLoad(e *Ident) evalFn {
-	slot := e.Ref.Slot
-	switch e.Ref.Kind {
+	ref := c.refOf(e)
+	slot := ref.Slot
+	switch ref.Kind {
 	case VarScalar:
 		return func(fr *frame) Value { return fr.scalars[slot] }
 	case VarCell:
 		return func(fr *frame) Value { return *fr.cells[slot] }
 	case VarGlobalScalar:
-		return func(fr *frame) Value { return fr.in.g.scalars[slot] }
+		return func(fr *frame) Value { return fr.ec.g.scalars[slot] }
 	}
-	c.bug(e.P, "%q (%s) read as a scalar", e.Name, e.Ref.Kind)
+	c.bug(e.P, "%q (%s) read as a scalar", e.Name, ref.Kind)
 	return nil
 }
 
 // cellRef compiles an addressable scalar variable to a cell accessor.
 func (c *compiler) cellRef(e *Ident) func(fr *frame) *Value {
-	slot := e.Ref.Slot
-	switch e.Ref.Kind {
+	ref := c.refOf(e)
+	slot := ref.Slot
+	switch ref.Kind {
 	case VarScalar:
 		return func(fr *frame) *Value { return &fr.scalars[slot] }
 	case VarCell:
 		return func(fr *frame) *Value { return fr.cells[slot] }
 	case VarGlobalScalar:
-		return func(fr *frame) *Value { return &fr.in.g.scalars[slot] }
+		return func(fr *frame) *Value { return &fr.ec.g.scalars[slot] }
 	}
-	c.bug(e.P, "%q (%s) used as a scalar cell", e.Name, e.Ref.Kind)
+	c.bug(e.P, "%q (%s) used as a scalar cell", e.Name, ref.Kind)
 	return nil
 }
 
 // arrayRef compiles an array variable to an accessor for its *Array.
 func (c *compiler) arrayRef(e *Ident) func(fr *frame) *Array {
-	slot := e.Ref.Slot
-	switch e.Ref.Kind {
+	ref := c.refOf(e)
+	slot := ref.Slot
+	switch ref.Kind {
 	case VarArray:
 		return func(fr *frame) *Array { return fr.arrays[slot] }
 	case VarGlobalArray:
-		return func(fr *frame) *Array { return fr.in.g.arrays[slot] }
+		return func(fr *frame) *Array { return fr.ec.g.arrays[slot] }
 	}
-	c.bug(e.P, "%q (%s) used as an array", e.Name, e.Ref.Kind)
+	c.bug(e.P, "%q (%s) used as an array", e.Name, ref.Kind)
 	return nil
 }
 
@@ -1454,7 +1424,7 @@ func stripParens(e Expr) Expr {
 type argBinder func(caller, callee *frame)
 
 func (c *compiler) call(e *CallExpr) evalFn {
-	if e.RBuiltin {
+	if c.isBuiltin(e) {
 		f := c.floatBuiltin(e)
 		return func(fr *frame) Value { return FloatV(f(fr)) }
 	}
@@ -1502,12 +1472,15 @@ func (c *compiler) call(e *CallExpr) evalFn {
 		}
 	}
 	return func(fr *frame) Value {
-		callee := newFrame(fr.in, cf)
+		ec := fr.ec
+		callee := ec.getFrame(cf)
 		for _, bind := range binders {
 			bind(fr, callee)
 		}
 		cf.body(callee)
-		return callee.ret
+		ret := callee.ret
+		ec.putFrame(cf, callee)
+		return ret
 	}
 }
 

@@ -311,41 +311,60 @@ func sameValue(a, b Value) bool {
 	return math.Float64bits(a.F) == math.Float64bits(b.F)
 }
 
-// TestCompiledParityWithWalker runs every golden program through both the
-// tree-walker and the compiled pipeline and requires bit-identical
-// results: same returned Value and same bits in every array argument.
+// TestCompiledParityWithWalker runs every golden program through the
+// tree-walker and every engine entry point — the historical Interp
+// wrapper plus Instances of the O2/O1/O0 Program variants — and
+// requires bit-identical results: same returned Value and same bits in
+// every array argument.
 func TestCompiledParityWithWalker(t *testing.T) {
 	for _, tc := range parityCases {
 		t.Run(tc.name, func(t *testing.T) {
 			f := MustParse("t.c", tc.src)
-			wArgs, cArgs := tc.args(), tc.args()
+			prog, perr := Compile(f)
+			if perr != nil {
+				t.Fatal(perr)
+			}
+			engines := []struct {
+				name string
+				e    engine
+			}{
+				{"interp", NewInterp(f)},
+				{"instance-O2", prog.NewInstance()},
+				{"variant-O1", prog.Variant(WithOptLevel(O1)).NewInstance()},
+				{"variant-O0", prog.Variant(WithOptLevel(O0)).NewInstance()},
+			}
+			wArgs := tc.args()
 			wv, werr := NewWalker(f).Call(tc.fn, wArgs...)
-			cv, cerr := NewInterp(f).Call(tc.fn, cArgs...)
-			if (werr == nil) != (cerr == nil) {
-				t.Fatalf("error divergence: walker=%v compiled=%v", werr, cerr)
-			}
-			if werr != nil {
-				return
-			}
-			if !sameValue(wv, cv) {
-				t.Fatalf("return value divergence: walker=%+v compiled=%+v", wv, cv)
-			}
-			for i := range wArgs {
-				wa, ok := wArgs[i].(*Array)
-				if !ok {
-					if wp, isPtr := wArgs[i].(*Value); isPtr {
-						cp := cArgs[i].(*Value)
-						if !sameValue(*wp, *cp) {
-							t.Errorf("out-param %d divergence: walker=%+v compiled=%+v", i, *wp, *cp)
-						}
-					}
+			for _, eng := range engines {
+				cArgs := tc.args()
+				cv, cerr := eng.e.Call(tc.fn, cArgs...)
+				if (werr == nil) != (cerr == nil) {
+					t.Fatalf("%s: error divergence: walker=%v compiled=%v", eng.name, werr, cerr)
+				}
+				if werr != nil {
 					continue
 				}
-				ca := cArgs[i].(*Array)
-				for k := range wa.Data {
-					if math.Float64bits(wa.Data[k]) != math.Float64bits(ca.Data[k]) {
-						t.Fatalf("array arg %d diverges at flat index %d: walker=%g compiled=%g",
-							i, k, wa.Data[k], ca.Data[k])
+				if !sameValue(wv, cv) {
+					t.Fatalf("%s: return value divergence: walker=%+v compiled=%+v", eng.name, wv, cv)
+				}
+				for i := range wArgs {
+					wa, ok := wArgs[i].(*Array)
+					if !ok {
+						if wp, isPtr := wArgs[i].(*Value); isPtr {
+							cp := cArgs[i].(*Value)
+							if !sameValue(*wp, *cp) {
+								t.Errorf("%s: out-param %d divergence: walker=%+v compiled=%+v",
+									eng.name, i, *wp, *cp)
+							}
+						}
+						continue
+					}
+					ca := cArgs[i].(*Array)
+					for k := range wa.Data {
+						if math.Float64bits(wa.Data[k]) != math.Float64bits(ca.Data[k]) {
+							t.Fatalf("%s: array arg %d diverges at flat index %d: walker=%g compiled=%g",
+								eng.name, i, k, wa.Data[k], ca.Data[k])
+						}
 					}
 				}
 			}
@@ -522,6 +541,39 @@ func TestCompiledPtrValueToByValueParamCopiesBack(t *testing.T) {
 	if !sameValue(wr, cr) || !sameValue(wf, cf) {
 		t.Errorf("kind-mismatch divergence: walker ret=%+v cell=%+v, compiled ret=%+v cell=%+v",
 			wr, wf, cr, cf)
+	}
+}
+
+// TestSameValueTwoByValueParams pins the documented copyback caveat:
+// the walker binds the same *Value for two by-value parameters as ONE
+// aliased cell, while the compiled engine copies it into two
+// independent slots and copies back in parameter order (last write
+// wins). This divergence is deliberate — the test keeps it from
+// shifting silently in either direction.
+func TestSameValueTwoByValueParams(t *testing.T) {
+	src := "int f(int a, int b) {\n  a = a + 1;\n  b = b + 10;\n  return a * 100 + b;\n}"
+	f := MustParse("t.c", src)
+
+	wcell := IntV(0)
+	wv, err := NewWalker(f).Call("f", &wcell, &wcell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walker: a and b alias one cell: a=a+1 → 1, b=b+10 → 11, a reads 11.
+	if wv.Int() != 1111 || wcell.Int() != 11 {
+		t.Errorf("walker: ret=%d cell=%d, want 1111/11 (aliased cell)", wv.Int(), wcell.Int())
+	}
+
+	ccell := IntV(0)
+	cv, err := NewInterp(f).Call("f", &ccell, &ccell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compiled: independent slots (a=1, b=10); copybacks run in
+	// parameter order, so b's value lands last in the caller's cell.
+	if cv.Int() != 110 || ccell.Int() != 10 {
+		t.Errorf("compiled: ret=%d cell=%d, want 110/10 (independent slots, last copyback wins)",
+			cv.Int(), ccell.Int())
 	}
 }
 

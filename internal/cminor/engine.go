@@ -1,0 +1,491 @@
+package cminor
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// The engine API splits execution into an immutable, shareable *Program
+// and lightweight per-goroutine *Instance sessions — the runtime shape
+// SOCRATES assumes: kernels are compiled once (possibly into several
+// variants under different optimization configurations) and then called
+// many times, concurrently, with per-call control.
+//
+//	prog, err := Compile(file)                  // resolve+typecheck+lower once
+//	o0 := prog.Variant(WithOptLevel(O0))        // another knob setting, shared front end
+//	inst := prog.NewInstance()                  // one per goroutine
+//	v, err := inst.CallContext(ctx, "gemm", args...)
+//
+// A Program holds only read-only state (the AST is never written after
+// parse; resolver/typecheck results live in NodeID-indexed side
+// tables), so any number of goroutines may share one Program — or
+// several variants of it — each through its own Instance. An Instance
+// owns the mutable execution state: global-variable storage, the step
+// budget, and a frame freelist that keeps steady-state calls
+// allocation-free. Instances are NOT safe for concurrent use; they are
+// cheap, so create one per goroutine.
+
+// DefaultMaxSteps is the default statement budget of a fresh Instance,
+// Interp, or Walker — a cheap runaway guard for untrusted kernels.
+const DefaultMaxSteps = 500_000_000
+
+// Backend selects the execution strategy of a compiled Program.
+type Backend uint8
+
+// Execution backends.
+const (
+	// BackendCompiled is the closure-compiled pipeline (the default).
+	BackendCompiled Backend = iota
+	// BackendWalker executes via the original tree-walking interpreter
+	// — the slow, name-resolving semantics oracle, useful for
+	// differential runs.
+	BackendWalker
+)
+
+// String names the backend.
+func (b Backend) String() string {
+	if b == BackendWalker {
+		return "walker"
+	}
+	return "compiled"
+}
+
+// OptLevel selects how aggressively the compiled backend specializes,
+// mirroring a compiler's -O axis so one source can be lowered into
+// several variants and compared.
+type OptLevel uint8
+
+// Optimization levels.
+const (
+	// O0 compiles only the generic tagged-Value closures.
+	O0 OptLevel = iota
+	// O1 adds the typecheck-driven unboxed int64/float64 evaluators.
+	O1
+	// O2 adds the loop optimizer: native counted loops and
+	// strength-reduced affine subscripts (the default).
+	O2
+)
+
+// String renders the level in -O spelling.
+func (l OptLevel) String() string { return fmt.Sprintf("O%d", uint8(l)) }
+
+// config is the resolved option set of one Program variant.
+type config struct {
+	backend  Backend
+	opt      OptLevel
+	maxSteps int
+}
+
+func defaultConfig() config {
+	return config{backend: BackendCompiled, opt: O2, maxSteps: DefaultMaxSteps}
+}
+
+// Option configures Compile and Program.Variant.
+type Option func(*config)
+
+// WithBackend selects the execution backend.
+func WithBackend(b Backend) Option { return func(c *config) { c.backend = b } }
+
+// WithOptLevel selects the compiled backend's optimization level.
+func WithOptLevel(l OptLevel) Option {
+	return func(c *config) {
+		if l > O2 {
+			l = O2
+		}
+		c.opt = l
+	}
+}
+
+// WithMaxSteps sets the default statement budget inherited by every
+// Instance (and Interp) of the program. n <= 0 restores DefaultMaxSteps.
+func WithMaxSteps(n int) Option {
+	return func(c *config) {
+		if n <= 0 {
+			n = DefaultMaxSteps
+		}
+		c.maxSteps = n
+	}
+}
+
+// Program is a compiled C-minor translation unit: one variant of the
+// source under a particular option set. It is immutable and safe to
+// share across any number of goroutines; all mutable run state lives in
+// the Instances created from it.
+type Program struct {
+	res   *ResolvedFile
+	ti    *typeInfo
+	fname string
+	cfg   config
+	funcs map[string]*compiledFunc
+	nfun  int
+}
+
+// Compile resolves, typechecks and lowers f under the given options
+// (default: compiled backend, O2, DefaultMaxSteps). All diagnostics
+// carry file:line:col. f is not modified — semantic results live in
+// side tables — so the same *File may be compiled repeatedly, and
+// concurrently, into independent Programs.
+func Compile(f *File, opts ...Option) (*Program, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	res, err := Resolve(f)
+	if err != nil {
+		return nil, err
+	}
+	return lower(f.Name, res, typecheck(res), cfg), nil
+}
+
+// Variant lowers the same resolved source under a modified option set,
+// sharing the resolve/typecheck results with p. Options not overridden
+// keep p's values. This is the compile-time exploration hook: build
+// O0/O1/O2 (or walker) variants of one kernel and select among them at
+// run time.
+func (p *Program) Variant(opts ...Option) *Program {
+	cfg := p.cfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return lower(p.fname, p.res, p.ti, cfg)
+}
+
+// Backend reports the variant's execution backend.
+func (p *Program) Backend() Backend { return p.cfg.backend }
+
+// OptLevel reports the variant's optimization level.
+func (p *Program) OptLevel() OptLevel { return p.cfg.opt }
+
+// lower builds one Program variant from shared front-end results.
+func lower(fname string, res *ResolvedFile, ti *typeInfo, cfg config) *Program {
+	p := &Program{res: res, ti: ti, fname: fname, cfg: cfg,
+		funcs: map[string]*compiledFunc{}}
+	if cfg.backend == BackendWalker {
+		return p // execution delegates to a per-instance Walker
+	}
+	for name, info := range res.Funcs {
+		p.funcs[name] = &compiledFunc{info: info, idx: p.nfun}
+		p.nfun++
+	}
+	for name, cf := range p.funcs {
+		cg := &compiler{prog: p}
+		cf.generic = cg.block(cf.info.Decl.Body)
+		if cfg.opt == O0 {
+			cf.body = cf.generic
+			continue
+		}
+		ct := &compiler{prog: p, types: ti.funcs[name], info: ti, opt: cfg.opt}
+		cf.body = ct.block(cf.info.Decl.Body)
+		cf.numHoist = ct.numHoist
+	}
+	return p
+}
+
+// newGlobals allocates and initialises global storage for one session.
+func (p *Program) newGlobals() *globalStore {
+	g := &globalStore{}
+	for _, gs := range p.res.Scalars {
+		g.scalars = append(g.scalars, gs.Init)
+	}
+	for _, ga := range p.res.Arrays {
+		g.arrays = append(g.arrays, NewArray(ga.Dims...))
+	}
+	return g
+}
+
+// Instance is one execution session over a shared Program: it owns the
+// program's global-variable storage, the statement budget, and a frame
+// freelist. Creating an Instance is cheap; it is not safe for
+// concurrent use — give each goroutine its own.
+type Instance struct {
+	prog     *Program
+	g        *globalStore
+	wk       *Walker // lazily built for BackendWalker
+	maxSteps int
+	steps    int
+	// limit is the steps value past which step() faults. It normally
+	// holds the budget; a CallContext cancellation watcher drops it to
+	// -1, so the single hot-path comparison covers both the runaway
+	// guard and cancellation. Atomic because the watcher fires from
+	// another goroutine; everything else on Instance is owner-only.
+	limit atomic.Int64
+	ctx   context.Context
+	// watchDone flags that the current call's cancellation watcher has
+	// finished, so call teardown can drain it (see call).
+	watchDone atomic.Bool
+	// pools holds reusable frames per compiled function, so steady-state
+	// calls allocate nothing.
+	pools [][]*frame
+}
+
+// NewInstance creates an execution session over p with fresh globals
+// and the program's configured step budget.
+func (p *Program) NewInstance() *Instance {
+	s := &Instance{prog: p, maxSteps: p.cfg.maxSteps}
+	s.limit.Store(int64(s.maxSteps))
+	if p.cfg.backend == BackendCompiled {
+		s.g = p.newGlobals()
+		s.pools = make([][]*frame, p.nfun)
+	}
+	return s
+}
+
+// SetMaxSteps replaces the session's statement budget (n <= 0 restores
+// DefaultMaxSteps). Steps accumulate across calls, as they always have.
+func (s *Instance) SetMaxSteps(n int) {
+	if n <= 0 {
+		n = DefaultMaxSteps
+	}
+	s.maxSteps = n
+}
+
+// Steps reports the statements executed by this session so far.
+func (s *Instance) Steps() int { return s.steps }
+
+// ctxPollStride is how many statements the walker backend runs between
+// context polls: large enough that the poll vanishes from hot loops,
+// small enough that cancellation lands within tens of microseconds.
+// (The compiled backend doesn't poll at all — a cancellation watcher
+// drops the step limit instead.)
+const ctxPollStride = 1 << 14
+
+// ctxDone carries a context error through the panic-based fault path so
+// the recovered error still wraps context.Canceled/DeadlineExceeded.
+type ctxDone struct{ err error }
+
+// step charges one executed statement. This is the hottest function in
+// the engine — it runs once per interpreted statement — so the slow
+// path must be a panic: a no-return branch keeps the register
+// allocator from spilling loop state around every inlined call site.
+// faultCause is only evaluated on the way into the panic.
+func (s *Instance) step() {
+	s.steps++
+	if int64(s.steps) > s.limit.Load() {
+		panic(s.faultCause())
+	}
+}
+
+// faultCause names why the limit was crossed: a cancelled/expired
+// context (the watcher dropped the limit) or the step budget itself.
+func (s *Instance) faultCause() any {
+	if s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
+			return ctxDone{err}
+		}
+	}
+	return &Diag{Msg: "interpreter step budget exceeded"}
+}
+
+// getFrame pops a pooled frame for cf, or allocates the first one.
+func (s *Instance) getFrame(cf *compiledFunc) *frame {
+	pool := &s.pools[cf.idx]
+	if n := len(*pool) - 1; n >= 0 {
+		fr := (*pool)[n]
+		*pool = (*pool)[:n]
+		// A body without a return statement leaves ret untouched; a
+		// recycled frame must yield the zero Value then, like a fresh one.
+		fr.ret = Value{}
+		return fr
+	}
+	fr := &frame{
+		ec:      s,
+		scalars: make([]Value, cf.info.NumScalars),
+		cells:   make([]*Value, cf.info.NumCells),
+		arrays:  make([]*Array, cf.info.NumArrays),
+	}
+	if cf.numHoist > 0 {
+		fr.hoists = make([]hoistCell, cf.numHoist)
+	}
+	return fr
+}
+
+// putFrame returns a frame to cf's pool. Pointer slots are cleared so a
+// pooled frame does not retain caller arrays/cells; scalar slots may
+// stay stale because every scalar is written (param bind or its
+// declaration statement) before any read. Frames still live when a call
+// faults are simply dropped to the GC.
+func (s *Instance) putFrame(cf *compiledFunc, fr *frame) {
+	clear(fr.cells)
+	clear(fr.arrays)
+	for i := range fr.hoists {
+		fr.hoists[i].arr = nil
+	}
+	s.pools[cf.idx] = append(s.pools[cf.idx], fr)
+}
+
+// Call invokes the named function. Args must be *Array for array
+// parameters, Value (or int/float64) for scalar parameters, and *Value
+// for pointer parameters (shared cell). Runtime faults — bad subscript,
+// integer division by zero, step budget — are returned as positioned
+// errors rather than crashing.
+func (s *Instance) Call(name string, args ...any) (Value, error) {
+	return s.call(nil, name, args)
+}
+
+// CallContext is Call with cancellation: when ctx is cancelled or its
+// deadline passes, a watcher drops the session's step limit and the
+// very next statement's budget check aborts the kernel — typically
+// within microseconds, at zero per-statement cost. The returned error
+// wraps ctx.Err(); partial writes to argument arrays and globals may
+// have happened, exactly as with any mid-kernel fault.
+func (s *Instance) CallContext(ctx context.Context, name string, args ...any) (Value, error) {
+	return s.call(ctx, name, args)
+}
+
+func (s *Instance) call(ctx context.Context, name string, args []any) (v Value, err error) {
+	if s.prog.cfg.backend == BackendWalker {
+		return s.walkerCall(ctx, name, args)
+	}
+	cf, ok := s.prog.funcs[name]
+	if !ok {
+		return Value{}, fmt.Errorf("cminor: no function %q", name)
+	}
+	params := cf.info.Decl.Params
+	if len(args) != len(params) {
+		return Value{}, fmt.Errorf("cminor: %s expects %d args, got %d",
+			name, len(params), len(args))
+	}
+	if ctx != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return Value{}, fmt.Errorf("cminor: calling %s: %w", name, cerr)
+		}
+	}
+	fr := s.getFrame(cf)
+	// copybacks approximate the historical shared-cell behaviour of
+	// *Value arguments bound to by-value scalar parameters: the raw
+	// Value is copied in and copied back when the call finishes (or
+	// faults). Caveat vs the old interpreter: passing the same *Value
+	// for two by-value parameters no longer aliases them to one cell.
+	var copybacks []func()
+	// The typed body trusts that every by-value scalar slot holds a
+	// Value of its declared kind. Raw *Value / int / float64 arguments
+	// may violate that (the historical interpreter binds them
+	// unconverted); such calls run the generically-compiled body.
+	mistyped := false
+	for i, p := range params {
+		ref := cf.info.Params[i]
+		if arr, isArr := args[i].(*Array); isArr || ref.Kind == VarArray {
+			if !isArr || ref.Kind != VarArray {
+				s.putFrame(cf, fr)
+				return Value{}, fmt.Errorf("cminor: %s: array/parameter mismatch for %s", name, p.Name)
+			}
+			fr.arrays[ref.Slot] = arr
+			continue
+		}
+		wantInt := p.Type.Kind == Int
+		switch a := args[i].(type) {
+		case *Value:
+			if ref.Kind == VarCell {
+				fr.cells[ref.Slot] = a
+			} else {
+				// The historical interpreter shared the cell unconverted;
+				// copy the raw Value in and back out to match.
+				if a.IsInt != wantInt {
+					mistyped = true
+				}
+				fr.scalars[ref.Slot] = *a
+				slot, dst := ref.Slot, a
+				copybacks = append(copybacks, func() { *dst = fr.scalars[slot] })
+			}
+		case Value:
+			bindScalar(fr, ref, convertKind(a, p.Type.Kind))
+		case int:
+			if !wantInt && ref.Kind == VarScalar {
+				mistyped = true
+			}
+			bindScalar(fr, ref, IntV(int64(a)))
+		case float64:
+			if wantInt && ref.Kind == VarScalar {
+				mistyped = true
+			}
+			bindScalar(fr, ref, FloatV(a))
+		default:
+			s.putFrame(cf, fr)
+			return Value{}, fmt.Errorf("cminor: unsupported argument type %T for %s", a, p.Name)
+		}
+	}
+	s.ctx = ctx
+	s.limit.Store(int64(s.maxSteps))
+	// Cancellation costs nothing per statement: a watcher drops the
+	// limit when ctx fires, and the ordinary budget comparison faults.
+	var stopWatch func() bool
+	if ctx != nil {
+		s.watchDone.Store(false)
+		stopWatch = context.AfterFunc(ctx, func() {
+			s.limit.Store(-1)
+			s.watchDone.Store(true)
+		})
+	}
+	defer func() {
+		s.ctx = nil
+		if stopWatch != nil && !stopWatch() {
+			// The watcher ran (or is running). Drain it so it cannot
+			// clobber a later call's limit.
+			for !s.watchDone.Load() {
+				runtime.Gosched()
+			}
+		}
+		for _, cb := range copybacks {
+			cb()
+		}
+		if r := recover(); r != nil {
+			switch d := r.(type) {
+			case *Diag:
+				err = fmt.Errorf("cminor: interpreting %s: %w", name, d)
+			case ctxDone:
+				err = fmt.Errorf("cminor: interpreting %s: %w", name, d.err)
+			default:
+				// Preserve the historical contract: any runtime fault in a
+				// kernel surfaces as an error, never a process crash.
+				err = fmt.Errorf("cminor: interpreting %s: %v", name, r)
+			}
+		}
+	}()
+	body := cf.body
+	if mistyped {
+		body = cf.generic
+	}
+	body(fr)
+	// Copybacks read only scalar slots, which putFrame leaves intact;
+	// run them eagerly anyway so the frame is logically dead when pooled.
+	for _, cb := range copybacks {
+		cb()
+	}
+	copybacks = nil
+	ret := fr.ret
+	s.putFrame(cf, fr)
+	return ret, nil
+}
+
+// bindScalar places a by-value scalar argument into the frame, boxing a
+// fresh cell when the parameter was declared as a pointer.
+func bindScalar(fr *frame, ref VarRef, v Value) {
+	if ref.Kind == VarCell {
+		cell := v
+		fr.cells[ref.Slot] = &cell
+		return
+	}
+	fr.scalars[ref.Slot] = v
+}
+
+// walkerCall runs a BackendWalker variant through a per-session Walker,
+// keeping the session's step accounting and context observation.
+func (s *Instance) walkerCall(ctx context.Context, name string, args []any) (Value, error) {
+	if s.wk == nil {
+		s.wk = NewWalker(s.prog.res.File)
+	}
+	if ctx != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return Value{}, fmt.Errorf("cminor: calling %s: %w", name, cerr)
+		}
+	}
+	s.wk.MaxSteps = s.maxSteps
+	s.wk.Steps = s.steps
+	s.wk.ctx = ctx
+	v, err := s.wk.Call(name, args...)
+	s.wk.ctx = nil
+	s.steps = s.wk.Steps
+	return v, err
+}

@@ -1,0 +1,322 @@
+package cminor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+const engineDotSrc = `
+double dot(int n, double a[n], double b[n]) {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < n; i++) {
+    s += a[i] * b[i];
+  }
+  return s;
+}
+`
+
+func dotArgs(n int) (args []any, want float64) {
+	a, b := NewArray(n), NewArray(n)
+	for i := 0; i < n; i++ {
+		a.Data[i] = float64(i) * 0.5
+		b.Data[i] = float64(i%7) + 1.0
+		want += a.Data[i] * b.Data[i]
+	}
+	return []any{IntV(int64(n)), a, b}, want
+}
+
+// TestCompileDoesNotMutateAST pins the immutability contract: compiling
+// (twice, plus variants at every opt level and backend) leaves the
+// input *File bit-identical to a freshly parsed one.
+func TestCompileDoesNotMutateAST(t *testing.T) {
+	src := engineDotSrc + `
+int g = 3;
+double withGlobals(int n, double a[n]) {
+  int i;
+  for (i = 0; i < n; i++) { a[i] += sqrt((double)g); }
+  return a[0];
+}`
+	f := MustParse("t.c", src)
+	pristine := MustParse("t.c", src)
+	if !reflect.DeepEqual(f, pristine) {
+		t.Fatal("parser is not deterministic; immutability check is void")
+	}
+	p1, err := Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(f); err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range [][]Option{
+		{WithOptLevel(O0)},
+		{WithOptLevel(O1)},
+		{WithBackend(BackendWalker)},
+		{WithMaxSteps(123)},
+	} {
+		p1.Variant(opts...)
+	}
+	if !reflect.DeepEqual(f, pristine) {
+		t.Error("Compile/Variant modified the input AST")
+	}
+	// And both compilations of the same *File actually execute.
+	args, want := dotArgs(8)
+	v, err := p1.NewInstance().Call("dot", args...)
+	if err != nil || v.Float() != want {
+		t.Errorf("dot = %v (%v), want %g", v, err, want)
+	}
+}
+
+// TestConcurrentInstancesShareProgram runs many goroutines over one
+// Program (each with its own Instance) and requires every call to agree
+// with the sequential result. Run under -race this also proves the
+// Program is read-only after Compile.
+func TestConcurrentInstancesShareProgram(t *testing.T) {
+	src := engineDotSrc + `
+int calls = 0;
+int count() {
+  calls = calls + 1;
+  return calls;
+}`
+	prog, err := Compile(MustParse("t.c", src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want := dotArgs(64)
+	const goroutines = 12
+	const callsPer = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			inst := prog.NewInstance()
+			args, _ := dotArgs(64)
+			for k := 0; k < callsPer; k++ {
+				v, err := inst.Call("dot", args...)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if v.Float() != want {
+					errs <- fmt.Errorf("dot = %g, want %g", v.Float(), want)
+					return
+				}
+			}
+			// Globals are per-instance: this session's counter counts
+			// only its own calls.
+			for k := int64(1); k <= 3; k++ {
+				v, err := inst.Call("count")
+				if err != nil || v.Int() != k {
+					errs <- fmt.Errorf("count = %v (%v), want %d", v, err, k)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// spinSrc runs far past any reasonable budget so cancellation tests
+// have something to interrupt.
+const spinSrc = `
+double spin() {
+  double acc = 0.0;
+  while (1) { acc += 1.0; }
+  return acc;
+}`
+
+func TestCallContextCancelMidKernel(t *testing.T) {
+	prog, err := Compile(MustParse("spin.c", spinSrc), WithMaxSteps(1<<40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = prog.NewInstance().CallContext(ctx, "spin")
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v; checkpoints are not being polled", elapsed)
+	}
+}
+
+func TestCallContextDeadline(t *testing.T) {
+	prog, err := Compile(MustParse("spin.c", spinSrc), WithMaxSteps(1<<40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	if _, err := prog.NewInstance().CallContext(ctx, "spin"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want wrapped context.DeadlineExceeded", err)
+	}
+}
+
+func TestCallContextAlreadyCancelled(t *testing.T) {
+	prog, err := Compile(MustParse("t.c", engineDotSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	args, _ := dotArgs(4)
+	inst := prog.NewInstance()
+	if _, err := inst.CallContext(ctx, "dot", args...); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if inst.Steps() != 0 {
+		t.Errorf("a pre-cancelled context must not execute anything (ran %d steps)", inst.Steps())
+	}
+	// The same instance stays usable with a live context afterwards.
+	v, err := inst.CallContext(context.Background(), "dot", args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, want := dotArgs(4); v.Float() != want {
+		t.Errorf("dot = %g, want %g", v.Float(), want)
+	}
+}
+
+// TestVariantsAgree compiles one source into every knob combination and
+// requires identical results — the SOCRATES premise that variants trade
+// speed, not semantics. The source includes a file-scope global so the
+// walker backend's global support is exercised too.
+func TestVariantsAgree(t *testing.T) {
+	src := engineDotSrc + `
+double bias = 0.5;
+double biasedDot(int n, double a[n], double b[n]) {
+  bias = bias * 2.0;
+  return dot(n, a, b) + bias;
+}`
+	prog, err := Compile(MustParse("t.c", src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Backend() != BackendCompiled || prog.OptLevel() != O2 {
+		t.Fatalf("default variant = %s/%s, want compiled/O2", prog.Backend(), prog.OptLevel())
+	}
+	variants := []*Program{
+		prog,
+		prog.Variant(WithOptLevel(O1)),
+		prog.Variant(WithOptLevel(O0)),
+		prog.Variant(WithBackend(BackendWalker)),
+	}
+	_, want := dotArgs(16)
+	for _, p := range variants {
+		name := fmt.Sprintf("%s-%s", p.Backend(), p.OptLevel())
+		inst := p.NewInstance()
+		args, _ := dotArgs(16)
+		v, err := inst.CallContext(context.Background(), "dot", args...)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if v.Float() != want {
+			t.Errorf("%s: dot = %g, want %g", name, v.Float(), want)
+		}
+		// Globals behave identically on every backend: per-session
+		// storage, persisting across calls (bias doubles each call).
+		for k, wantBias := range []float64{1.0, 2.0} {
+			args, _ := dotArgs(16)
+			v, err := inst.CallContext(context.Background(), "biasedDot", args...)
+			if err != nil {
+				t.Errorf("%s: biasedDot: %v", name, err)
+				break
+			}
+			if v.Float() != want+wantBias {
+				t.Errorf("%s: biasedDot call %d = %g, want %g", name, k, v.Float(), want+wantBias)
+			}
+		}
+	}
+}
+
+func TestWithMaxStepsOption(t *testing.T) {
+	prog, err := Compile(MustParse("spin.c", spinSrc), WithMaxSteps(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.NewInstance().Call("spin"); err == nil ||
+		!strings.Contains(err.Error(), "step budget") {
+		t.Errorf("err = %v, want step-budget fault from WithMaxSteps", err)
+	}
+	// Interps created from the program inherit the configured budget.
+	if _, err := prog.NewInterp().Call("spin"); err == nil ||
+		!strings.Contains(err.Error(), "step budget") {
+		t.Errorf("Interp err = %v, want step-budget fault", err)
+	}
+	// Per-instance override.
+	inst := prog.NewInstance()
+	inst.SetMaxSteps(0) // restores DefaultMaxSteps; way more than 1000 spins
+	done := make(chan struct{})
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		defer cancel()
+		inst.CallContext(ctx, "spin")
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("SetMaxSteps(0) instance neither finished nor honoured its context")
+	}
+}
+
+// TestWalkerBackendContext proves the cancellation checkpoints reach
+// the oracle backend too.
+func TestWalkerBackendContext(t *testing.T) {
+	prog, err := Compile(MustParse("spin.c", spinSrc),
+		WithBackend(BackendWalker), WithMaxSteps(1<<40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	if _, err := prog.NewInstance().CallContext(ctx, "spin"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want wrapped context.DeadlineExceeded", err)
+	}
+}
+
+// TestSteadyStateCallsAllocationFree pins the frame-pooling goal: after
+// warm-up, repeated calls on one Instance allocate nothing.
+func TestSteadyStateCallsAllocationFree(t *testing.T) {
+	src := engineDotSrc + `
+double wrap(int n, double a[n], double b[n]) { return dot(n, a, b) * 2.0; }`
+	prog, err := Compile(MustParse("t.c", src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := prog.NewInstance()
+	inst.SetMaxSteps(1 << 60)
+	args, _ := dotArgs(32)
+	// Warm the frame pools (entry frame + internal call frame).
+	if _, err := inst.Call("wrap", args...); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if _, err := inst.Call("wrap", args...); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state Call allocates %.1f objects/op, want 0", avg)
+	}
+}

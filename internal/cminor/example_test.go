@@ -1,0 +1,44 @@
+package cminor
+
+import (
+	"context"
+	"fmt"
+)
+
+// ExampleCompile walks the engine API end to end: compile a kernel
+// once, derive a de-optimized variant of the same source, and execute
+// both through per-session Instances with context-aware calls.
+func ExampleCompile() {
+	f := MustParse("axpy.c", `
+void axpy(int n, double alpha, double x[n], double y[n]) {
+  int i;
+  for (i = 0; i < n; i++) {
+    y[i] = y[i] + alpha * x[i];
+  }
+}`)
+
+	prog, err := Compile(f) // default variant: compiled backend, O2
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	o0 := prog.Variant(WithOptLevel(O0)) // same source, generic lowering
+
+	ctx := context.Background()
+	for _, p := range []*Program{prog, o0} {
+		inst := p.NewInstance() // one lightweight session per goroutine
+		x, y := NewArray(4), NewArray(4)
+		for i := 0; i < 4; i++ {
+			x.Set(float64(i), i)
+			y.Set(1.0, i)
+		}
+		if _, err := inst.CallContext(ctx, "axpy", IntV(4), FloatV(2.0), x, y); err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("%s: y = %v\n", p.OptLevel(), y.Data)
+	}
+	// Output:
+	// O2: y = [1 3 5 7]
+	// O0: y = [1 3 5 7]
+}

@@ -1,6 +1,7 @@
 package cminor
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -240,24 +241,46 @@ func TestDifferentialGeneratedKernels(t *testing.T) {
 			in := NewInterp(f)
 			w.MaxSteps = 1 << 30
 			in.MaxSteps = 1 << 30
-			wArgs, cArgs := diffArgs(8, seed), diffArgs(8, seed)
+			// The engine path proper: a pooled Instance driven through
+			// CallContext, so the wrapper and the new API are both pinned
+			// to the oracle on every seed. Some generated kernels are
+			// unresolvable (e.g. a variable used in its own initializer);
+			// eager Compile reports that up front, the other two engines
+			// at their first Call — all three must agree it's an error.
+			prog, perr := Compile(f, WithMaxSteps(1<<30))
+			wArgs, cArgs, iArgs := diffArgs(8, seed), diffArgs(8, seed), diffArgs(8, seed)
 			wv, werr := w.Call("k", wArgs...)
 			cv, cerr := in.Call("k", cArgs...)
-			if (werr == nil) != (cerr == nil) {
-				t.Fatalf("error divergence on:\n%s\nwalker=%v compiled=%v", src, werr, cerr)
+			if perr != nil {
+				if werr == nil || cerr == nil {
+					t.Fatalf("Compile rejected what an engine ran on:\n%s\ncompile=%v walker=%v interp=%v",
+						src, perr, werr, cerr)
+				}
+				return
+			}
+			inst := prog.NewInstance()
+			iv, ierr := inst.CallContext(context.Background(), "k", iArgs...)
+			if (werr == nil) != (cerr == nil) || (werr == nil) != (ierr == nil) {
+				t.Fatalf("error divergence on:\n%s\nwalker=%v compiled=%v instance=%v",
+					src, werr, cerr, ierr)
 			}
 			if werr != nil {
 				return
 			}
-			if !sameValue(wv, cv) {
-				t.Fatalf("return divergence on:\n%s\nwalker=%+v compiled=%+v", src, wv, cv)
+			if !sameValue(wv, cv) || !sameValue(wv, iv) {
+				t.Fatalf("return divergence on:\n%s\nwalker=%+v compiled=%+v instance=%+v",
+					src, wv, cv, iv)
 			}
 			for i := 1; i < len(wArgs); i++ {
-				wa, ca := wArgs[i].(*Array), cArgs[i].(*Array)
+				wa, ca, ia := wArgs[i].(*Array), cArgs[i].(*Array), iArgs[i].(*Array)
 				for k := range wa.Data {
 					if math.Float64bits(wa.Data[k]) != math.Float64bits(ca.Data[k]) {
 						t.Fatalf("array %d diverges at flat index %d on:\n%s\nwalker=%g compiled=%g",
 							i, k, src, wa.Data[k], ca.Data[k])
+					}
+					if math.Float64bits(wa.Data[k]) != math.Float64bits(ia.Data[k]) {
+						t.Fatalf("array %d diverges at flat index %d on:\n%s\nwalker=%g instance=%g",
+							i, k, src, wa.Data[k], ia.Data[k])
 					}
 				}
 			}

@@ -1,20 +1,18 @@
 package cminor
 
-import "fmt"
-
-// Interp executes C-minor files through the compiled pipeline: the file
-// is resolved (identifiers bound to slots, arity/rank checked),
-// typechecked (static int/double kinds inferred) and lowered to
-// closure-compiled evaluators once — with unboxed fast paths and a loop
-// optimizer — then every Call runs over slot-indexed frames with no
-// per-variable map lookups. The public surface (NewInterp, Call, Value,
-// Array) is unchanged from the original tree-walking interpreter;
-// Walker retains those semantics for differential testing.
+// Interp is the historical single-session facade over the engine API
+// (see engine.go): NewInterp compiles and Call executes, with compile
+// diagnostics deferred to the first Call. It is a thin wrapper around
+// an Instance of a default-configured Program — new code should use
+// Compile / Program.NewInstance / Instance.CallContext directly, which
+// expose variant selection, sharing across goroutines, and
+// cancellation. The wrapper keeps the seed-era contract bit-for-bit:
+// golden and fuzz parity suites run against it unchanged.
 type Interp struct {
-	prog *Program
+	inst *Instance
 	err  error
-	g    *globalStore
-	// Steps counts executed statements, as a cheap runaway guard.
+	// Steps counts executed statements, as a cheap runaway guard; it
+	// accumulates across calls. MaxSteps may be adjusted between calls.
 	Steps    int
 	MaxSteps int
 }
@@ -22,32 +20,23 @@ type Interp struct {
 // NewInterp compiles f and returns an interpreter over it. Compilation
 // diagnostics (undeclared identifiers, rank/arity mismatches, ...) are
 // deferred to the first Call so the constructor keeps its historical
-// signature; use Compile directly to observe them eagerly. Compilation
-// annotates f in place (see Compile), so don't share one *File across
-// concurrent NewInterp calls without cloning.
+// signature; use Compile directly to observe them eagerly. f is not
+// modified — compiling shares no state with the caller's AST.
 func NewInterp(f *File) *Interp {
-	in := &Interp{MaxSteps: 500_000_000}
+	in := &Interp{MaxSteps: DefaultMaxSteps}
 	prog, err := Compile(f)
 	if err != nil {
 		in.err = err
 		return in
 	}
-	in.prog = prog
-	in.g = prog.newGlobals()
+	in.inst = prog.NewInstance()
 	return in
 }
 
-// NewInterp builds an interpreter sharing this compiled program. Each
-// interpreter owns its global-variable storage and step budget.
+// NewInterp builds an interpreter sessioned over this compiled program.
+// Each interpreter owns its global-variable storage and step budget.
 func (p *Program) NewInterp() *Interp {
-	return &Interp{prog: p, g: p.newGlobals(), MaxSteps: 500_000_000}
-}
-
-func (in *Interp) step() {
-	in.Steps++
-	if in.Steps > in.MaxSteps {
-		panic(&Diag{Msg: "interpreter step budget exceeded"})
-	}
+	return &Interp{inst: p.NewInstance(), MaxSteps: p.cfg.maxSteps}
 }
 
 // Call invokes the named function. Args must be *Array for array
@@ -55,100 +44,16 @@ func (in *Interp) step() {
 // for pointer parameters (shared cell). Runtime faults — bad subscript,
 // integer division by zero, step budget — are returned as positioned
 // errors rather than crashing.
-func (in *Interp) Call(name string, args ...any) (v Value, err error) {
+func (in *Interp) Call(name string, args ...any) (Value, error) {
 	if in.err != nil {
 		return Value{}, in.err
 	}
-	cf, ok := in.prog.funcs[name]
-	if !ok {
-		return Value{}, fmt.Errorf("cminor: no function %q", name)
-	}
-	params := cf.info.Decl.Params
-	if len(args) != len(params) {
-		return Value{}, fmt.Errorf("cminor: %s expects %d args, got %d",
-			name, len(params), len(args))
-	}
-	fr := newFrame(in, cf)
-	// copybacks approximate the historical shared-cell behaviour of
-	// *Value arguments bound to by-value scalar parameters: the raw
-	// Value is copied in and copied back when the call finishes (or
-	// faults). Caveat vs the old interpreter: passing the same *Value
-	// for two by-value parameters no longer aliases them to one cell.
-	var copybacks []func()
-	// The typed body trusts that every by-value scalar slot holds a
-	// Value of its declared kind. Raw *Value / int / float64 arguments
-	// may violate that (the historical interpreter binds them
-	// unconverted); such calls run the generically-compiled body.
-	mistyped := false
-	for i, p := range params {
-		ref := cf.info.Params[i]
-		if arr, isArr := args[i].(*Array); isArr || ref.Kind == VarArray {
-			if !isArr || ref.Kind != VarArray {
-				return Value{}, fmt.Errorf("cminor: %s: array/parameter mismatch for %s", name, p.Name)
-			}
-			fr.arrays[ref.Slot] = arr
-			continue
-		}
-		wantInt := p.Type.Kind == Int
-		switch a := args[i].(type) {
-		case *Value:
-			if ref.Kind == VarCell {
-				fr.cells[ref.Slot] = a
-			} else {
-				// The historical interpreter shared the cell unconverted;
-				// copy the raw Value in and back out to match.
-				if a.IsInt != wantInt {
-					mistyped = true
-				}
-				fr.scalars[ref.Slot] = *a
-				slot, dst := ref.Slot, a
-				copybacks = append(copybacks, func() { *dst = fr.scalars[slot] })
-			}
-		case Value:
-			in.bindScalar(fr, ref, convertKind(a, p.Type.Kind))
-		case int:
-			if !wantInt && ref.Kind == VarScalar {
-				mistyped = true
-			}
-			in.bindScalar(fr, ref, IntV(int64(a)))
-		case float64:
-			if wantInt && ref.Kind == VarScalar {
-				mistyped = true
-			}
-			in.bindScalar(fr, ref, FloatV(a))
-		default:
-			return Value{}, fmt.Errorf("cminor: unsupported argument type %T for %s", a, p.Name)
-		}
-	}
-	defer func() {
-		for _, cb := range copybacks {
-			cb()
-		}
-		if r := recover(); r != nil {
-			if d, isDiag := r.(*Diag); isDiag {
-				err = fmt.Errorf("cminor: interpreting %s: %w", name, d)
-				return
-			}
-			// Preserve the historical contract: any runtime fault in a
-			// kernel surfaces as an error, never a process crash.
-			err = fmt.Errorf("cminor: interpreting %s: %v", name, r)
-		}
-	}()
-	body := cf.body
-	if mistyped {
-		body = cf.generic
-	}
-	body(fr)
-	return fr.ret, nil
-}
-
-// bindScalar places a by-value scalar argument into the frame, boxing a
-// fresh cell when the parameter was declared as a pointer.
-func (in *Interp) bindScalar(fr *frame, ref VarRef, v Value) {
-	if ref.Kind == VarCell {
-		cell := v
-		fr.cells[ref.Slot] = &cell
-		return
-	}
-	fr.scalars[ref.Slot] = v
+	// Sync the mutable public fields into the session and back, so the
+	// historical "set MaxSteps between calls, read Steps after" idiom
+	// keeps working.
+	in.inst.maxSteps = in.MaxSteps
+	in.inst.steps = in.Steps
+	v, err := in.inst.call(nil, name, args)
+	in.Steps = in.inst.steps
+	return v, err
 }

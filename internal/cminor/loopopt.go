@@ -151,15 +151,20 @@ func (c *compiler) countedLoop(s *ForStmt) stmtFn {
 			return nil
 		}
 		id, ok := stripParens(a.LHS).(*Ident)
-		if !ok || id.Ref.Kind != VarScalar {
+		if !ok {
 			return nil
 		}
-		ivRef, lo = id.Ref, a.RHS
+		ref := c.refOf(id)
+		if ref.Kind != VarScalar {
+			return nil
+		}
+		ivRef, lo = ref, a.RHS
 	case *DeclStmt:
-		if init.Ref.Kind != VarScalar || init.Type.Kind != Int {
+		ref := c.declRef(init)
+		if ref.Kind != VarScalar || init.Type.Kind != Int {
 			return nil
 		}
-		ivRef, lo = init.Ref, init.Init
+		ivRef, lo = ref, init.Init
 	default:
 		return nil
 	}
@@ -172,7 +177,7 @@ func (c *compiler) countedLoop(s *ForStmt) stmtFn {
 		return nil
 	}
 	cid, ok := stripParens(cond.X).(*Ident)
-	if !ok || cid.Ref.Kind != VarScalar || cid.Ref.Slot != ivRef.Slot {
+	if !ok || !c.isIVIdent(cid, ivRef.Slot) {
 		return nil
 	}
 	hi := cond.Y
@@ -182,12 +187,12 @@ func (c *compiler) countedLoop(s *ForStmt) stmtFn {
 		return nil
 	}
 	// Post: iv++, iv += 1, or iv = iv + 1.
-	if !isUnitStep(s.Post, ivRef.Slot) {
+	if !c.isUnitStep(s.Post, ivRef.Slot) {
 		return nil
 	}
 	// Body analysis: no user calls (they could mutate anything), the
 	// induction variable untouched, and the bound loop-invariant.
-	lc := analyzeLoopBody(s.Body, ivRef.Slot)
+	lc := c.analyzeLoopBody(s.Body, ivRef.Slot)
 	if lc == nil || lc.modScalars[ivRef.Slot] {
 		return nil
 	}
@@ -222,8 +227,8 @@ func (c *compiler) countedLoop(s *ForStmt) stmtFn {
 	}
 
 	return func(fr *frame) flow {
-		fr.in.step() // the for statement itself
-		fr.in.step() // its init statement
+		fr.ec.step() // the for statement itself
+		fr.ec.step() // its init statement
 		var iv int64
 		if loFn != nil {
 			iv = loFn(fr)
@@ -250,7 +255,24 @@ func (c *compiler) countedLoop(s *ForStmt) stmtFn {
 		if !useFast {
 			body = safeBody
 		}
-		if useFast && len(incs) > 0 {
+		if useFast && len(incs) == 1 {
+			// One striding access is the common stencil/matmul shape;
+			// keep its per-iteration bump free of the slice walk.
+			hs := incs[0]
+			for {
+				if f := body(fr); f != flowNormal {
+					return f
+				}
+				fr.hoists[hs].base += fr.hoists[hs].step
+				iv++
+				fr.scalars[ivSlot].I = iv
+				fr.ec.step()
+				if iv > last {
+					return flowNormal
+				}
+			}
+		}
+		if useFast && len(incs) > 1 {
 			for {
 				if f := body(fr); f != flowNormal {
 					return f
@@ -260,7 +282,7 @@ func (c *compiler) countedLoop(s *ForStmt) stmtFn {
 				}
 				iv++
 				fr.scalars[ivSlot].I = iv
-				fr.in.step()
+				fr.ec.step()
 				if iv > last {
 					return flowNormal
 				}
@@ -272,7 +294,7 @@ func (c *compiler) countedLoop(s *ForStmt) stmtFn {
 			}
 			iv++
 			fr.scalars[ivSlot].I = iv
-			fr.in.step()
+			fr.ec.step()
 			if iv > last {
 				return flowNormal
 			}
@@ -280,16 +302,22 @@ func (c *compiler) countedLoop(s *ForStmt) stmtFn {
 	}
 }
 
+// isIVIdent reports whether id resolves to the induction slot.
+func (c *compiler) isIVIdent(id *Ident, ivSlot int) bool {
+	ref := c.refOf(id)
+	return ref.Kind == VarScalar && ref.Slot == ivSlot
+}
+
 // isUnitStep reports whether post is a unit increment of the induction
 // slot: iv++, iv += 1, or iv = iv + 1.
-func isUnitStep(post Expr, ivSlot int) bool {
+func (c *compiler) isUnitStep(post Expr, ivSlot int) bool {
 	switch p := stripParens(post).(type) {
 	case *IncDecExpr:
 		id, ok := stripParens(p.X).(*Ident)
-		return ok && p.Op == INC && id.Ref.Kind == VarScalar && id.Ref.Slot == ivSlot
+		return ok && p.Op == INC && c.isIVIdent(id, ivSlot)
 	case *AssignExpr:
 		id, ok := stripParens(p.LHS).(*Ident)
-		if !ok || id.Ref.Kind != VarScalar || id.Ref.Slot != ivSlot {
+		if !ok || !c.isIVIdent(id, ivSlot) {
 			return false
 		}
 		switch p.Op {
@@ -302,7 +330,7 @@ func isUnitStep(post Expr, ivSlot int) bool {
 				return false
 			}
 			bid, ok := stripParens(b.X).(*Ident)
-			if !ok || bid.Ref.Kind != VarScalar || bid.Ref.Slot != ivSlot {
+			if !ok || !c.isIVIdent(bid, ivSlot) {
 				return false
 			}
 			lit, ok := stripParens(b.Y).(*IntLit)
@@ -316,7 +344,7 @@ func isUnitStep(post Expr, ivSlot int) bool {
 // nil when the body contains a user function call — a call can mutate
 // globals, arrays, and any variable whose address was taken, which
 // defeats every invariance argument the optimizer relies on.
-func analyzeLoopBody(b *Block, ivSlot int) *loopCtx {
+func (c *compiler) analyzeLoopBody(b *Block, ivSlot int) *loopCtx {
 	lc := &loopCtx{
 		ivSlot:     ivSlot,
 		modScalars: map[int]bool{},
@@ -327,25 +355,25 @@ func analyzeLoopBody(b *Block, ivSlot int) *loopCtx {
 	Walk(b, func(n Node) bool {
 		switch n := n.(type) {
 		case *CallExpr:
-			if !n.RBuiltin {
+			if !c.isBuiltin(n) {
 				ok = false
 				return false
 			}
 		case *DeclStmt:
-			switch n.Ref.Kind {
+			switch ref := c.declRef(n); ref.Kind {
 			case VarScalar:
 				// A declaration re-initializes its slot every iteration,
 				// so the slot is not invariant across the loop.
-				lc.modScalars[n.Ref.Slot] = true
+				lc.modScalars[ref.Slot] = true
 			case VarArray:
-				lc.declArrays[n.Ref.Slot] = true
+				lc.declArrays[ref.Slot] = true
 			case VarCell:
 				lc.writesCells = true
 			}
 		case *AssignExpr:
-			markWrite(lc, n.LHS)
+			c.markWrite(lc, n.LHS)
 		case *IncDecExpr:
-			markWrite(lc, n.X)
+			c.markWrite(lc, n.X)
 		}
 		return true
 	})
@@ -356,14 +384,14 @@ func analyzeLoopBody(b *Block, ivSlot int) *loopCtx {
 }
 
 // markWrite records an assignment target in the loop's modified sets.
-func markWrite(lc *loopCtx, target Expr) {
+func (c *compiler) markWrite(lc *loopCtx, target Expr) {
 	switch t := stripParens(target).(type) {
 	case *Ident:
-		switch t.Ref.Kind {
+		switch ref := c.refOf(t); ref.Kind {
 		case VarScalar:
-			lc.modScalars[t.Ref.Slot] = true
+			lc.modScalars[ref.Slot] = true
 		case VarGlobalScalar:
-			lc.modGlobals[t.Ref.Slot] = true
+			lc.modGlobals[ref.Slot] = true
 		case VarCell:
 			// A cell may point at a global (or any caller variable), so
 			// writing through it dirties everything non-local.
@@ -385,11 +413,11 @@ func (c *compiler) invariant(e Expr, lc *loopCtx) bool {
 	case *IntLit, *FloatLit:
 		return true
 	case *Ident:
-		switch e.Ref.Kind {
+		switch ref := c.refOf(e); ref.Kind {
 		case VarScalar:
-			return e.Ref.Slot != lc.ivSlot && !lc.modScalars[e.Ref.Slot]
+			return ref.Slot != lc.ivSlot && !lc.modScalars[ref.Slot]
 		case VarGlobalScalar:
-			return !lc.writesCells && !lc.modGlobals[e.Ref.Slot]
+			return !lc.writesCells && !lc.modGlobals[ref.Slot]
 		}
 		return false // cells alias caller storage; be conservative
 	case *ParenExpr:
@@ -410,10 +438,10 @@ func (c *compiler) invariant(e Expr, lc *loopCtx) bool {
 
 // ivAffine matches i, i+c, c+i, i-c against the induction slot,
 // returning the constant offset c.
-func ivAffine(e Expr, ivSlot int) (int64, bool) {
+func (c *compiler) ivAffine(e Expr, ivSlot int) (int64, bool) {
 	switch x := stripParens(e).(type) {
 	case *Ident:
-		if x.Ref.Kind == VarScalar && x.Ref.Slot == ivSlot {
+		if c.isIVIdent(x, ivSlot) {
 			return 0, true
 		}
 	case *BinExpr:
@@ -421,17 +449,17 @@ func ivAffine(e Expr, ivSlot int) (int64, bool) {
 		lit, lOK := stripParens(x.Y).(*IntLit)
 		switch x.Op {
 		case PLUS:
-			if iOK && lOK && id.Ref.Kind == VarScalar && id.Ref.Slot == ivSlot {
+			if iOK && lOK && c.isIVIdent(id, ivSlot) {
 				return lit.V, true
 			}
 			// c + i
 			lit2, lOK2 := stripParens(x.X).(*IntLit)
 			id2, iOK2 := stripParens(x.Y).(*Ident)
-			if lOK2 && iOK2 && id2.Ref.Kind == VarScalar && id2.Ref.Slot == ivSlot {
+			if lOK2 && iOK2 && c.isIVIdent(id2, ivSlot) {
 				return lit2.V, true
 			}
 		case MINUS:
-			if iOK && lOK && id.Ref.Kind == VarScalar && id.Ref.Slot == ivSlot {
+			if iOK && lOK && c.isIVIdent(id, ivSlot) {
 				return -lit.V, true
 			}
 		}
@@ -457,9 +485,9 @@ func (c *compiler) tryHoist(root *Ident, subs []Expr) func(fr *frame) (*Array, i
 	lc := c.loops[len(c.loops)-1]
 	// The array binding must be stable across the loop (local array
 	// declarations in the body rebind their slot).
-	switch root.Ref.Kind {
+	switch ref := c.refOf(root); ref.Kind {
 	case VarArray:
-		if lc.declArrays[root.Ref.Slot] {
+		if lc.declArrays[ref.Slot] {
 			return nil
 		}
 	case VarGlobalArray:
@@ -473,7 +501,7 @@ func (c *compiler) tryHoist(root *Ident, subs []Expr) func(fr *frame) (*Array, i
 	}
 	cls := make([]subClass, len(subs))
 	for i, sx := range subs {
-		if off, ok := ivAffine(sx, lc.ivSlot); ok {
+		if off, ok := c.ivAffine(sx, lc.ivSlot); ok {
 			cls[i] = subClass{iv: true, off: off}
 		} else if c.invariant(sx, lc) {
 			cls[i] = subClass{}

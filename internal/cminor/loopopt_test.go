@@ -17,6 +17,203 @@ func runBoth(t *testing.T, src, fn string, mkArgs func() []any) (wv, cv Value, w
 	return
 }
 
+// diffCheck asserts walker/compiled parity for one program: same
+// error-or-not outcome, same returned Value, bit-identical arrays.
+func diffCheck(t *testing.T, name, src, fn string, mk func() []any) {
+	t.Helper()
+	f := MustParse("t.c", src)
+	wArgs, cArgs := mk(), mk()
+	wv, werr := NewWalker(f).Call(fn, wArgs...)
+	cv, cerr := NewInterp(f).Call(fn, cArgs...)
+	if (werr == nil) != (cerr == nil) {
+		t.Fatalf("%s: error divergence walker=%v compiled=%v", name, werr, cerr)
+	}
+	if werr == nil && !sameValue(wv, cv) {
+		t.Fatalf("%s: return divergence walker=%+v compiled=%+v", name, wv, cv)
+	}
+	for i := range wArgs {
+		wa, ok := wArgs[i].(*Array)
+		if !ok {
+			continue
+		}
+		ca := cArgs[i].(*Array)
+		for k := range wa.Data {
+			if math.Float64bits(wa.Data[k]) != math.Float64bits(ca.Data[k]) {
+				t.Fatalf("%s: array %d diverges at %d: walker=%g compiled=%g",
+					name, i, k, wa.Data[k], ca.Data[k])
+			}
+		}
+	}
+}
+
+// Inner loop's hoisted access fails preflight (a[j+off] out of range when
+// off selected), while the outer loop's own hoists stay valid, so the
+// outer fast body must drive the inner SAFE body with outer-registered
+// hoists still live.
+func TestLoopNestedInnerDeopt(t *testing.T) {
+	src := `
+double f(int n, int off, double a[n], double b[n][n], double out[n]) {
+  int i; int j;
+  double acc = 0.0;
+  for (i = 0; i < n; i++) {
+    out[i] = a[i] * 2.0;
+    for (j = 0; j < n; j++) {
+      b[i][j] = b[i][j] + a[j + off] + out[i];
+      acc += b[i][j];
+    }
+  }
+  return acc;
+}`
+	for _, off := range []int64{0, 1, 3} { // off=1,3 push a[j+off] out of range
+		mk := func() []any {
+			a, b, out := NewArray(6), NewArray(6, 6), NewArray(6)
+			for i := range a.Data {
+				a.Data[i] = float64(i) * 0.5
+			}
+			for i := range b.Data {
+				b.Data[i] = float64(i) * 0.25
+			}
+			return []any{IntV(6), IntV(off), a, b, out}
+		}
+		diffCheck(t, "nested-deopt", src, "f", mk)
+	}
+}
+
+// Row-striding (hRowIV) access nested under an outer loop, inner bound
+// depends on outer-invariant expr; plus a diagonal access that must stay
+// generic.
+func TestLoopRowStrideAndDiagonal(t *testing.T) {
+	src := `
+double f(int n, double b[n][n]) {
+  int i; int j;
+  double acc = 0.0;
+  for (i = 0; i < n; i++) {
+    for (j = 1; j <= n - 1; j = j + 1) {
+      b[j][i] = b[j - 1][i] * 0.5 + 1.0;
+      b[j][j] += 0.125;
+      acc += b[j][i];
+    }
+  }
+  return acc;
+}`
+	mk := func() []any {
+		b := NewArray(7, 7)
+		for i := range b.Data {
+			b.Data[i] = float64(i) * 0.125
+		}
+		return []any{IntV(7), b}
+	}
+	diffCheck(t, "rowstride", src, "f", mk)
+}
+
+// The loop bound is a double-kinded variable that demotes to dynamic
+// (int store later); counted loop must not fire, parity must hold.
+func TestLoopDynamicBoundAndDemotedIV(t *testing.T) {
+	src := `
+double f(int n, double a[n]) {
+  int i;
+  double m = 4.0;
+  m = n - 1;
+  for (i = 0; i < m; i++) {
+    a[i] += 1.0;
+  }
+  for (i = 0; i <= m; i++) {
+    a[0] += 0.5;
+  }
+  return a[0];
+}`
+	mk := func() []any {
+		a := NewArray(8)
+		for i := range a.Data {
+			a.Data[i] = float64(i)
+		}
+		return []any{IntV(8), a}
+	}
+	diffCheck(t, "dynbound", src, "f", mk)
+}
+
+// Rank mismatch at loop entry (array param rebound with wrong rank):
+// setup must bail to the safe body and fault exactly like the walker.
+func TestLoopRankMismatchDeopt(t *testing.T) {
+	src := `
+double f(int n, double a[n]) {
+  int i;
+  for (i = 0; i < n; i++) {
+    a[i] += 1.0;
+  }
+  return a[0];
+}`
+	mk := func() []any { return []any{IntV(4), NewArray(4, 4)} }
+	diffCheck(t, "rankmismatch", src, "f", mk)
+}
+
+// Negative affine offset out of range on iteration 0 plus partial-state
+// parity: the fault happens mid-loop in the walker.
+func TestLoopNegOffsetFault(t *testing.T) {
+	src := `
+double f(int n, double a[n]) {
+  int i;
+  for (i = 0; i < n; i++) {
+    a[i - 2] = 1.0 * i;
+  }
+  return 0.0;
+}`
+	mk := func() []any { return []any{IntV(5), NewArray(5)} }
+	diffCheck(t, "negoff", src, "f", mk)
+}
+
+// A loop bound read from a global that the body mutates is not
+// invariant: the counted loop must refuse to hoist it and re-evaluate
+// per iteration (a hoisted bound of 5 would yield 0+1+2+3+4 = 10).
+// Also checked against the walker oracle, which gained file-scope
+// globals alongside the walker backend.
+func TestLoopGlobalBoundMutation(t *testing.T) {
+	src := `
+int g = 5;
+double f() {
+  int i;
+  double acc = 0.0;
+  for (i = 0; i < g; i++) {
+    g = g - 1;
+    acc += i;
+  }
+  return acc;
+}`
+	diffCheck(t, "globalbound", src, "f", func() []any { return nil })
+	in := NewInterp(MustParse("t.c", src))
+	v, err := in.Call("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// g shrinks while i grows: iterations i=0,1,2 run → acc = 3.
+	if v.Float() != 3.0 {
+		t.Errorf("got %g, want 3 (bound must be re-evaluated per iteration)", v.Float())
+	}
+}
+
+// Induction variable read after a zero-trip inner loop; also "c + i"
+// affine form and invariant float subscript truncation.
+func TestLoopMiscShapes(t *testing.T) {
+	src := `
+double f(int n, double a[n], double b[n][n]) {
+  int i; int j;
+  double x = 1.9;
+  double acc = 0.0;
+  for (i = 0; i < n; i++) {
+    for (j = n; j < n; j++) { acc += 100.0; }
+    a[x] = a[x] + 1.0;
+    b[i][1 + i] = 2.0;
+    acc += b[i][1 + i] + a[x] + j;
+  }
+  return acc;
+}`
+	mk := func() []any {
+		a, b := NewArray(9), NewArray(9, 9)
+		return []any{IntV(8), a, b}
+	}
+	diffCheck(t, "misc", src, "f", mk)
+}
+
 func TestCountedLoopFinalInductionValue(t *testing.T) {
 	src := `
 int f(int n) {

@@ -11,6 +11,16 @@ type Parser struct {
 	// pending pragmas seen since the last statement/declaration; they
 	// attach to the next for-loop or function, or become PragmaStmts.
 	pending []*Pragma
+	// nextID numbers the annotatable nodes (Ident, DeclStmt, CallExpr)
+	// so semantic passes can use NodeID-indexed side tables.
+	nextID NodeID
+}
+
+// newID hands out the next dense NodeID.
+func (p *Parser) newID() NodeID {
+	id := p.nextID
+	p.nextID++
+	return id
 }
 
 // Parse parses a translation unit. name is used for positions/diagnostics.
@@ -129,7 +139,7 @@ func (p *Parser) parseFile() *File {
 				init = p.parseAssignExpr()
 			}
 			f.Globals = append(f.Globals, &DeclStmt{Name: nameTok.Text, Type: typ,
-				Init: init, P: nameTok.Pos})
+				Init: init, P: nameTok.Pos, ID: p.newID()})
 			if !p.accept(COMMA) {
 				break
 			}
@@ -138,6 +148,7 @@ func (p *Parser) parseFile() *File {
 		}
 		p.expect(SEMI)
 	}
+	f.NumIDs = int(p.nextID)
 	return f
 }
 
@@ -281,7 +292,8 @@ func (p *Parser) parseDecl() []Stmt {
 		if p.accept(ASSIGN) {
 			init = p.parseAssignExpr()
 		}
-		out = append(out, &DeclStmt{Name: nameTok.Text, Type: typ, Init: init, P: nameTok.Pos})
+		out = append(out, &DeclStmt{Name: nameTok.Text, Type: typ, Init: init,
+			P: nameTok.Pos, ID: p.newID()})
 		if !p.accept(COMMA) {
 			break
 		}
@@ -336,7 +348,8 @@ func (p *Parser) parseDeclNoSemi() []Stmt {
 		if p.accept(ASSIGN) {
 			init = p.parseAssignExpr()
 		}
-		out = append(out, &DeclStmt{Name: nameTok.Text, Type: typ, Init: init, P: nameTok.Pos})
+		out = append(out, &DeclStmt{Name: nameTok.Text, Type: typ, Init: init,
+			P: nameTok.Pos, ID: p.newID()})
 		if !p.accept(COMMA) {
 			break
 		}
@@ -483,7 +496,7 @@ func (p *Parser) parsePrimary() Expr {
 		p.next()
 		if p.at(LPAREN) {
 			p.next()
-			call := &CallExpr{Fun: t.Text, P: t.Pos}
+			call := &CallExpr{Fun: t.Text, P: t.Pos, ID: p.newID()}
 			if !p.at(RPAREN) {
 				for {
 					call.Args = append(call.Args, p.parseAssignExpr())
@@ -495,7 +508,7 @@ func (p *Parser) parsePrimary() Expr {
 			p.expect(RPAREN)
 			return call
 		}
-		return &Ident{Name: t.Text, P: t.Pos}
+		return &Ident{Name: t.Text, P: t.Pos, ID: p.newID()}
 	case INTLIT:
 		p.next()
 		v, err := strconv.ParseInt(t.Text, 10, 64)

@@ -2,11 +2,12 @@ package cminor
 
 // The resolver is the first stage of the compiled execution pipeline
 // (resolve → typecheck → compile → execute). It walks the AST exactly
-// once, binds
-// every identifier to a numbered frame slot (annotating the AST with
-// VarRefs), checks arity/rank/lvalue rules, and evaluates constant array
-// dimensions, so the later stages never consult names or re-discover
-// structure inside loops.
+// once, binds every identifier to a numbered frame slot, checks
+// arity/rank/lvalue rules, and evaluates constant array dimensions, so
+// the later stages never consult names or re-discover structure inside
+// loops. The bindings are recorded in NodeID-indexed side tables on the
+// ResolvedFile — the AST itself is never written to, so one *File can
+// be resolved (and the resulting Program shared) concurrently.
 
 // FuncInfo is the resolver's summary of one function definition: the slot
 // counts that size its execution frame and the storage class of each
@@ -34,13 +35,65 @@ type GlobalArray struct {
 	Dims []int
 }
 
-// ResolvedFile is the output of Resolve: the (annotated) AST plus the
-// per-function and global slot tables the compiler lowers against.
+// ResolvedFile is the output of Resolve: the (unmodified) AST plus the
+// per-function and global slot tables the compiler lowers against, and
+// the NodeID-indexed annotation tables that replace in-tree writes.
 type ResolvedFile struct {
 	File    *File
 	Funcs   map[string]*FuncInfo
 	Scalars []GlobalScalar
 	Arrays  []GlobalArray
+	// refs is the resolved slot of every Ident/DeclStmt, indexed by
+	// NodeID; builtins marks CallExprs that name a math builtin.
+	refs     []VarRef
+	builtins []bool
+}
+
+// RefOf returns the slot binding the resolver assigned to n (an *Ident
+// or *DeclStmt). Unannotated nodes report VarUnresolved.
+func (res *ResolvedFile) RefOf(n Node) VarRef {
+	switch x := n.(type) {
+	case *Ident:
+		return res.refs[x.ID]
+	case *DeclStmt:
+		return res.refs[x.ID]
+	}
+	return VarRef{}
+}
+
+// numIDs sizes the annotation tables: the parser's count, defensively
+// widened for hand-assembled trees that carry IDs past it. It also
+// reports whether any two annotatable nodes share an ID — a
+// hand-assembled tree whose nodes were left at the zero ID would
+// otherwise alias one table entry and mis-bind silently.
+func numIDs(f *File) (n int, dup Node) {
+	n = f.NumIDs
+	var ids []Node // ids[id] = first node seen with that ID
+	Walk(f, func(nd Node) bool {
+		var id NodeID
+		switch x := nd.(type) {
+		case *Ident:
+			id = x.ID
+		case *DeclStmt:
+			id = x.ID
+		case *CallExpr:
+			id = x.ID
+		default:
+			return true
+		}
+		if int(id) >= n {
+			n = int(id) + 1
+		}
+		for int(id) >= len(ids) {
+			ids = append(ids, nil)
+		}
+		if ids[id] != nil && dup == nil {
+			dup = nd
+		}
+		ids[id] = nd
+		return true
+	})
+	return n, dup
 }
 
 type symbol struct {
@@ -51,18 +104,29 @@ type symbol struct {
 
 type resolver struct {
 	file   *File
+	res    *ResolvedFile
 	diags  DiagList
 	scopes []map[string]*symbol
 	funcs  map[string]*FuncDecl // functions with bodies
 	cur    *FuncInfo
 }
 
-// Resolve semantically analyses f: every Ident/DeclStmt is annotated with
-// a VarRef, and undeclared identifiers, rank mismatches, call-arity
+// setRef records the slot binding for an annotatable node.
+func (r *resolver) setRef(id NodeID, ref VarRef) { r.res.refs[id] = ref }
+
+// Resolve semantically analyses f: every Ident/DeclStmt gets a VarRef in
+// the side table, and undeclared identifiers, rank mismatches, call-arity
 // mismatches and invalid lvalues are reported as positioned diagnostics.
+// f itself is not modified.
 func Resolve(f *File) (*ResolvedFile, error) {
-	r := &resolver{file: f, funcs: map[string]*FuncDecl{}}
-	res := &ResolvedFile{File: f, Funcs: map[string]*FuncInfo{}}
+	n, dup := numIDs(f)
+	if dup != nil {
+		return nil, DiagList{diagf(f.Name, dup.Pos(),
+			"duplicate node ID: the AST must come from Parse or File.Clone")}
+	}
+	res := &ResolvedFile{File: f, Funcs: map[string]*FuncInfo{},
+		refs: make([]VarRef, n), builtins: make([]bool, n)}
+	r := &resolver{file: f, res: res, funcs: map[string]*FuncDecl{}}
 	r.push() // module scope
 	for _, g := range f.Globals {
 		r.global(res, g)
@@ -125,7 +189,7 @@ func (r *resolver) global(res *ResolvedFile, g *DeclStmt) {
 		}
 		ref := VarRef{Kind: VarGlobalArray, Slot: len(res.Arrays), Base: g.Type.Kind}
 		res.Arrays = append(res.Arrays, GlobalArray{Name: g.Name, Dims: dims})
-		g.Ref = ref
+		r.setRef(g.ID, ref)
 		r.scopes[0][g.Name] = &symbol{ref: ref, rank: len(dims), kind: g.Type.Kind}
 		return
 	}
@@ -141,7 +205,7 @@ func (r *resolver) global(res *ResolvedFile, g *DeclStmt) {
 	ref := VarRef{Kind: VarGlobalScalar, Slot: len(res.Scalars), Base: g.Type.Kind}
 	res.Scalars = append(res.Scalars, GlobalScalar{Name: g.Name, Kind: g.Type.Kind,
 		Init: convertKind(init, g.Type.Kind)})
-	g.Ref = ref
+	r.setRef(g.ID, ref)
 	r.scopes[0][g.Name] = &symbol{ref: ref, kind: g.Type.Kind}
 }
 
@@ -245,7 +309,7 @@ func (r *resolver) decl(s *DeclStmt) {
 		r.expr(s.Init)
 	}
 	ref := r.alloc(s.Type)
-	s.Ref = ref
+	r.setRef(s.ID, ref)
 	r.top()[s.Name] = &symbol{ref: ref, rank: len(s.Type.Dims), kind: s.Type.Kind}
 }
 
@@ -260,7 +324,7 @@ func (r *resolver) expr(e Expr) {
 			r.errorf(e.P, "undeclared identifier %q", e.Name)
 			return
 		}
-		e.Ref = sym.ref
+		r.setRef(e.ID, sym.ref)
 		if sym.ref.Kind == VarArray || sym.ref.Kind == VarGlobalArray {
 			r.errorf(e.P, "array %q used as a scalar value", e.Name)
 		}
@@ -302,7 +366,7 @@ func (r *resolver) lvalue(e Expr) {
 			r.errorf(e.P, "undeclared identifier %q", e.Name)
 			return
 		}
-		e.Ref = sym.ref
+		r.setRef(e.ID, sym.ref)
 		if sym.ref.Kind == VarArray || sym.ref.Kind == VarGlobalArray {
 			r.errorf(e.P, "cannot assign to array %q without subscripts", e.Name)
 		}
@@ -350,7 +414,7 @@ func (r *resolver) index(e *IndexExpr) {
 		r.errorf(root.P, "undeclared identifier %q", root.Name)
 		return
 	}
-	root.Ref = sym.ref
+	r.setRef(root.ID, sym.ref)
 	if sym.ref.Kind != VarArray && sym.ref.Kind != VarGlobalArray {
 		r.errorf(root.P, "%q is not an array", root.Name)
 		return
@@ -363,7 +427,7 @@ func (r *resolver) index(e *IndexExpr) {
 
 func (r *resolver) call(e *CallExpr) {
 	if n, ok := builtinArity[e.Fun]; ok {
-		e.RBuiltin = true
+		r.res.builtins[e.ID] = true
 		if len(e.Args) != n {
 			r.errorf(e.P, "builtin %s expects %d argument(s), got %d", e.Fun, n, len(e.Args))
 		}
@@ -415,7 +479,7 @@ func (r *resolver) arrayArg(a Expr, p *Param, fun string) {
 		r.errorf(id.P, "undeclared identifier %q", id.Name)
 		return
 	}
-	id.Ref = sym.ref
+	r.setRef(id.ID, sym.ref)
 	if sym.ref.Kind != VarArray && sym.ref.Kind != VarGlobalArray {
 		r.errorf(id.P, "%q is not an array", id.Name)
 		return
@@ -452,7 +516,7 @@ func (r *resolver) cellArg(a Expr) {
 		r.errorf(id.P, "undeclared identifier %q", id.Name)
 		return
 	}
-	id.Ref = sym.ref
+	r.setRef(id.ID, sym.ref)
 	if sym.ref.Kind == VarArray || sym.ref.Kind == VarGlobalArray {
 		r.errorf(id.P, "array %q cannot bind a pointer parameter", id.Name)
 	}

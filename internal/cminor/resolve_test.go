@@ -94,16 +94,29 @@ func TestResolveAnnotatesSlots(t *testing.T) {
 		t.Fatalf("slot counts = %d scalars, %d cells, %d arrays; want 3/0/2",
 			info.NumScalars, info.NumCells, info.NumArrays)
 	}
-	// Every identifier in the loop body must carry a resolved slot.
+	// Every identifier in the loop body must carry a resolved slot in
+	// the side table (the AST itself stays unannotated).
 	unresolved := 0
 	Walk(info.Decl.Body, func(n Node) bool {
-		if id, ok := n.(*Ident); ok && id.Ref.Kind == VarUnresolved {
+		if id, ok := n.(*Ident); ok && res.RefOf(id).Kind == VarUnresolved {
 			unresolved++
 		}
 		return true
 	})
 	if unresolved != 0 {
 		t.Errorf("%d identifiers left unresolved", unresolved)
+	}
+}
+
+// TestResolveRejectsDuplicateNodeIDs: the annotation side tables are
+// keyed by NodeID, so a tree with aliased IDs (a cloned subtree spliced
+// into its own file) must be rejected loudly, not mis-bound silently.
+func TestResolveRejectsDuplicateNodeIDs(t *testing.T) {
+	f := MustParse("t.c", "int f(int a) { return a + a; }")
+	body := f.Funcs[0].Body
+	body.Stmts = append(body.Stmts, CloneStmt(body.Stmts[0]))
+	if _, err := Resolve(f); err == nil || !strings.Contains(err.Error(), "duplicate node ID") {
+		t.Fatalf("err = %v, want duplicate-node-ID diagnostic", err)
 	}
 }
 

@@ -105,8 +105,10 @@ func typecheck(res *ResolvedFile) *typeInfo {
 			}
 		}
 		Walk(fi.Decl.Body, func(n Node) bool {
-			if d, ok := n.(*DeclStmt); ok && d.Ref.Kind == VarScalar {
-				ft.scalars[d.Ref.Slot] = kindOfBasic(d.Type.Kind)
+			if d, ok := n.(*DeclStmt); ok {
+				if ref := res.refs[d.ID]; ref.Kind == VarScalar {
+					ft.scalars[ref.Slot] = kindOfBasic(d.Type.Kind)
+				}
 			}
 			return true
 		})
@@ -164,6 +166,9 @@ type checker struct {
 	sawReturn bool
 	retJoin   kind
 }
+
+// refOf reads an identifier's resolved slot from the side table.
+func (tc *checker) refOf(e *Ident) VarRef { return tc.ti.res.refs[e.ID] }
 
 func (tc *checker) varKind(ref VarRef) kind {
 	switch ref.Kind {
@@ -262,7 +267,7 @@ func (tc *checker) exprKind(e Expr) kind {
 	case *FloatLit:
 		return kFloat
 	case *Ident:
-		return tc.varKind(e.Ref)
+		return tc.varKind(tc.refOf(e))
 	case *ParenExpr:
 		return tc.expr(e.X)
 	case *CastExpr:
@@ -306,7 +311,7 @@ func (tc *checker) exprKind(e Expr) kind {
 			return kFloat
 		}
 		if id, ok := stripParens(e.X).(*Ident); ok {
-			return tc.varKind(id.Ref) // ++/-- preserves the slot kind
+			return tc.varKind(tc.refOf(id)) // ++/-- preserves the slot kind
 		}
 		return kDyn
 	case *CallExpr:
@@ -335,14 +340,14 @@ func (tc *checker) assign(e *AssignExpr) kind {
 	if !ok {
 		return kDyn
 	}
-	switch tc.varKind(id.Ref) {
+	switch tc.varKind(tc.refOf(id)) {
 	case kInt:
 		return kInt // stores coerce to int
 	case kFloat:
 		if e.Op == ASSIGN && rhs != kFloat {
 			// A non-float store flips the slot's runtime kind: the
 			// variable is no longer statically double.
-			tc.demoteFloat(id.Ref)
+			tc.demoteFloat(tc.refOf(id))
 			return kDyn
 		}
 		// Compound assigns read the float old value first, so the
@@ -353,7 +358,7 @@ func (tc *checker) assign(e *AssignExpr) kind {
 }
 
 func (tc *checker) call(e *CallExpr) kind {
-	if e.RBuiltin {
+	if tc.ti.res.builtins[e.ID] {
 		for _, a := range e.Args {
 			tc.expr(a)
 		}
@@ -375,7 +380,7 @@ func (tc *checker) call(e *CallExpr) kind {
 			// The callee can store values of any kind through the cell, so
 			// a float variable whose address escapes loses its static kind.
 			if id, _ := stripArg(a); id != nil {
-				tc.demoteFloat(id.Ref)
+				tc.demoteFloat(tc.refOf(id))
 			}
 		default:
 			tc.expr(a)

@@ -25,7 +25,7 @@ func scalarKindOf(t *testing.T, res *ResolvedFile, ti *typeInfo, fn, name string
 	}
 	Walk(fi.Decl.Body, func(n Node) bool {
 		if d, ok := n.(*DeclStmt); ok && d.Name == name {
-			r := d.Ref
+			r := res.RefOf(d)
 			ref = &r
 		}
 		return true

@@ -1,6 +1,9 @@
 package cminor
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Walker is the original single-pass tree-walking interpreter. Every
 // identifier is looked up in a per-call map and every node re-dispatches
@@ -17,9 +20,16 @@ import "fmt"
 type Walker struct {
 	file  *File
 	funcs map[string]*FuncDecl
+	// globals holds file-scope bindings, shared by every call (and
+	// persisting across calls, like the compiled engine's per-Instance
+	// global store). Array dims and initialisers must be constant.
+	globals map[string]*wbinding
 	// Steps counts executed statements, as a cheap runaway guard.
 	Steps    int
 	MaxSteps int
+	// ctx, when set by a walker-backend Instance, is polled at step
+	// checkpoints so CallContext cancellation works on this backend too.
+	ctx context.Context
 }
 
 type wbinding struct {
@@ -31,18 +41,44 @@ type wframe struct {
 	vars map[string]*wbinding
 }
 
-func (fr *wframe) lookup(name string) (*wbinding, bool) {
-	b, ok := fr.vars[name]
+// lookup resolves a name in the call frame, falling back to the
+// file-scope globals.
+func (w *Walker) lookup(fr *wframe, name string) (*wbinding, bool) {
+	if b, ok := fr.vars[name]; ok {
+		return b, true
+	}
+	b, ok := w.globals[name]
 	return b, ok
 }
 
 // NewWalker builds a tree-walking interpreter over f.
 func NewWalker(f *File) *Walker {
-	w := &Walker{file: f, funcs: map[string]*FuncDecl{}, MaxSteps: 500_000_000}
+	w := &Walker{file: f, funcs: map[string]*FuncDecl{},
+		globals: map[string]*wbinding{}, MaxSteps: DefaultMaxSteps}
 	for _, fn := range f.Funcs {
 		if fn.Body != nil {
 			w.funcs[fn.Name] = fn
 		}
+	}
+	for _, g := range f.Globals {
+		if g.Type.IsArray() {
+			dims := make([]int, len(g.Type.Dims))
+			for i, d := range g.Type.Dims {
+				if v, ok := constEval(d); ok {
+					dims[i] = int(v.Int())
+				}
+			}
+			w.globals[g.Name] = &wbinding{arr: NewArray(dims...)}
+			continue
+		}
+		var init Value
+		if g.Init != nil {
+			if v, ok := constEval(g.Init); ok {
+				init = v
+			}
+		}
+		v := convertKind(init, g.Type.Kind)
+		w.globals[g.Name] = &wbinding{scalar: &v}
 	}
 	return w
 }
@@ -55,11 +91,14 @@ type returnSignal struct{ v Value }
 func (w *Walker) Call(name string, args ...any) (v Value, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			if rs, ok := r.(returnSignal); ok {
-				v = rs.v
-				return
+			switch rr := r.(type) {
+			case returnSignal:
+				v = rr.v
+			case ctxDone:
+				err = fmt.Errorf("cminor: interpreting %s: %w", name, rr.err)
+			default:
+				err = fmt.Errorf("cminor: interpreting %s: %v", name, r)
 			}
-			err = fmt.Errorf("cminor: interpreting %s: %v", name, r)
 		}
 	}()
 	fn, ok := w.funcs[name]
@@ -98,6 +137,11 @@ func (w *Walker) step() {
 	w.Steps++
 	if w.Steps > w.MaxSteps {
 		panic("interpreter step budget exceeded")
+	}
+	if w.ctx != nil && w.Steps&(ctxPollStride-1) == 0 {
+		if err := w.ctx.Err(); err != nil {
+			panic(ctxDone{err})
+		}
 	}
 }
 
@@ -166,7 +210,7 @@ func (w *Walker) exec(s Stmt, fr *wframe) {
 func (w *Walker) lvalue(e Expr, fr *wframe) (cell *Value, arr *Array, idx []int) {
 	switch e := e.(type) {
 	case *Ident:
-		b, ok := fr.lookup(e.Name)
+		b, ok := w.lookup(fr, e.Name)
 		if !ok {
 			panic(fmt.Sprintf("undefined variable %q", e.Name))
 		}
@@ -192,7 +236,7 @@ func (w *Walker) lvalue(e Expr, fr *wframe) (cell *Value, arr *Array, idx []int)
 		if !ok {
 			panic("indexed expression is not a variable")
 		}
-		b, ok := fr.lookup(id.Name)
+		b, ok := w.lookup(fr, id.Name)
 		if !ok || b.arr == nil {
 			panic(fmt.Sprintf("%q is not an array", id.Name))
 		}
@@ -212,7 +256,7 @@ func (w *Walker) lvalue(e Expr, fr *wframe) (cell *Value, arr *Array, idx []int)
 func (w *Walker) eval(e Expr, fr *wframe) Value {
 	switch e := e.(type) {
 	case *Ident:
-		b, ok := fr.lookup(e.Name)
+		b, ok := w.lookup(fr, e.Name)
 		if !ok {
 			panic(fmt.Sprintf("undefined variable %q", e.Name))
 		}
