@@ -2,7 +2,7 @@
 # PRs: it writes the full benchmark event stream (go test -json) to
 # BENCH_$(PR).json so successive PRs can be diffed.
 
-PR ?= 3
+PR ?= 4
 BENCHCOUNT ?= 5
 
 .PHONY: all build test test-race vet fmt bench bench-smoke
@@ -26,8 +26,9 @@ fmt:
 
 # Full benchmark sweep, recorded as JSON for cross-PR tracking. The
 # `-bench .` regex includes the *Parallel benchmarks (shared-Program
-# Instances across GOMAXPROCS goroutines) alongside the single-thread
-# walker/compiled pairs.
+# Instances across GOMAXPROCS goroutines), the single-thread
+# walker/compiled pairs, and BenchmarkOptLevels — every kernel at every
+# opt level O0–O3, the per-variant data the autotuning layer selects on.
 bench:
 	go test ./internal/cminor -run '^$$' -bench . -benchmem -count=$(BENCHCOUNT) -json > BENCH_$(PR).json
 	@echo "wrote BENCH_$(PR).json"

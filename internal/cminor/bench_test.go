@@ -109,6 +109,71 @@ void atax(int m, int n, double A[m][n], double x[n], double y[n], double tmp[m])
 }
 `
 
+// mvt, trisolv and cholesky extend the suite with triangular loops and
+// diagonal accesses — the shapes the O3 range analysis is built for.
+
+const benchMvtSrc = `
+void mvt(int n, double x1[n], double x2[n], double y1[n], double y2[n], double A[n][n]) {
+  int i, j;
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      x1[i] = x1[i] + A[i][j] * y1[j];
+    }
+  }
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) {
+      x2[i] = x2[i] + A[j][i] * y2[j];
+    }
+  }
+}
+`
+
+const benchTrisolvSrc = `
+void trisolv(int n, double L[n][n], double x[n], double b[n]) {
+  int i, j;
+  for (i = 0; i < n; i++) {
+    x[i] = b[i];
+    for (j = 0; j < i; j++) {
+      x[i] = x[i] - L[i][j] * x[j];
+    }
+    x[i] = x[i] / L[i][i];
+  }
+}
+`
+
+const benchCholeskySrc = `
+void cholesky(int n, double A[n][n]) {
+  int i, j, k;
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < i; j++) {
+      for (k = 0; k < j; k++) {
+        A[i][j] -= A[i][k] * A[j][k];
+      }
+      A[i][j] /= A[j][j];
+    }
+    for (k = 0; k < i; k++) {
+      A[i][i] -= A[i][k] * A[i][k];
+    }
+    A[i][i] = sqrt(A[i][i]);
+  }
+}
+`
+
+// benchNormsSrc exercises the O3 inliner: the inner loop's only call is
+// a tiny leaf, which blocks every loop optimization below O3.
+const benchNormsSrc = `
+double sq(double x) { return x * x; }
+void norms(int n, double A[n][n], double out[n]) {
+  int i, j;
+  for (i = 0; i < n; i++) {
+    out[i] = 0.0;
+    for (j = 0; j < n; j++) {
+      out[i] = out[i] + sq(A[i][j]);
+    }
+  }
+}
+`
+
 func benchMatrix(n int) *Array {
 	a := NewArray(n, n)
 	for i := range a.Data {
@@ -301,6 +366,91 @@ func BenchmarkAtaxCompiled(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := in.Call("atax", args...); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+func benchMvtArgs(n int) []any {
+	return []any{IntV(int64(n)), benchVector(n), benchVector(n), benchVector(n),
+		benchVector(n), benchMatrix(n)}
+}
+
+func benchTrisolvArgs(n int) []any {
+	L := NewArray(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			L.Set(float64(i+j)/float64(n)+1.0, i, j)
+		}
+	}
+	return []any{IntV(int64(n)), L, NewArray(n), benchVector(n)}
+}
+
+func benchCholeskyArgs(n int) []any {
+	A := NewArray(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := 0.01 * float64((i*j)%13)
+			if i == j {
+				v = float64(n) + 2.0 // diagonally dominant
+			}
+			A.Set(v, i, j)
+		}
+	}
+	return []any{IntV(int64(n)), A}
+}
+
+func benchNormsArgs(n int) []any {
+	return []any{IntV(int64(n)), benchMatrix(n), benchVector(n)}
+}
+
+// benchSweep is the kernel matrix `make bench` records per opt level —
+// the per-variant data the autotuning layer will select on.
+var benchSweep = []struct {
+	name string
+	src  string
+	file string
+	fn   string
+	args func() []any
+}{
+	{"gemm", benchGemmSrc, "gemm.c", "gemm", func() []any { return benchGemmArgs(32) }},
+	{"jacobi", benchJacobiSrc, "jacobi.c", "jacobi", func() []any { return benchJacobiArgs(48) }},
+	{"axpy", benchAxpySrc, "axpy.c", "axpy", func() []any {
+		return []any{IntV(4096), FloatV(2.0), benchVector(4096), benchVector(4096)}
+	}},
+	{"2mm", bench2mmSrc, "2mm.c", "mm2", func() []any { return bench2mmArgs(24) }},
+	{"seidel2d", benchSeidelSrc, "seidel.c", "seidel2d", func() []any { return benchSeidelArgs(48) }},
+	{"atax", benchAtaxSrc, "atax.c", "atax", func() []any { return benchAtaxArgs(48) }},
+	{"mvt", benchMvtSrc, "mvt.c", "mvt", func() []any { return benchMvtArgs(48) }},
+	{"trisolv", benchTrisolvSrc, "trisolv.c", "trisolv", func() []any { return benchTrisolvArgs(64) }},
+	{"cholesky", benchCholeskySrc, "cholesky.c", "cholesky", func() []any { return benchCholeskyArgs(32) }},
+	{"norms", benchNormsSrc, "norms.c", "norms", func() []any { return benchNormsArgs(48) }},
+}
+
+// BenchmarkOptLevels sweeps every kernel across O0–O3 so BENCH_<n>.json
+// carries one record per (kernel, variant) — the design-space sample
+// SOCRATES' design-time exploration assumes.
+func BenchmarkOptLevels(b *testing.B) {
+	for _, k := range benchSweep {
+		prog, err := Compile(MustParse(k.file, k.src), WithMaxSteps(1<<62))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, lvl := range []OptLevel{O0, O1, O2, O3} {
+			vp, err := prog.Variant(WithOptLevel(lvl))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(k.name+"/"+lvl.String(), func(b *testing.B) {
+				inst := vp.NewInstance()
+				args := k.args()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := inst.Call(k.fn, args...); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

@@ -101,6 +101,11 @@ type compiledFunc struct {
 	body     stmtFn
 	generic  stmtFn
 	numHoist int
+	// Per-variant frame sizes. They start at the resolver's counts and
+	// grow when the O3 inliner renumbers callee slots into this frame.
+	nScalars int
+	nCells   int
+	nArrays  int
 }
 
 // rtPanic raises a positioned runtime diagnostic; Interp.Call recovers it
@@ -123,13 +128,21 @@ type compiler struct {
 	// loops is the stack of active counted-loop contexts; elemFn
 	// registers hoistable subscripts against the innermost one.
 	loops []*loopCtx
+	// plan is the O3 inlining plan for the function being compiled (nil
+	// below O3 and for the generic body); remap is non-nil while an
+	// inlined callee's body is being lowered, relocating its frame slots
+	// into the caller's slot spaces.
+	plan  *inlinePlan
+	remap *inlineSite
 }
 
-// refOf reads an identifier's resolved slot from the side table.
-func (c *compiler) refOf(e *Ident) VarRef { return c.prog.res.refs[e.ID] }
+// refOf reads an identifier's resolved slot from the side table,
+// relocated into the caller's frame when an inlined body is active.
+func (c *compiler) refOf(e *Ident) VarRef { return c.remap.apply(c.prog.res.refs[e.ID]) }
 
-// declRef reads a declaration's resolved slot from the side table.
-func (c *compiler) declRef(s *DeclStmt) VarRef { return c.prog.res.refs[s.ID] }
+// declRef reads a declaration's resolved slot from the side table
+// (relocated like refOf).
+func (c *compiler) declRef(s *DeclStmt) VarRef { return c.remap.apply(c.prog.res.refs[s.ID]) }
 
 // isBuiltin reports whether the resolver marked e as a math builtin.
 func (c *compiler) isBuiltin(e *CallExpr) bool { return c.prog.res.builtins[e.ID] }
@@ -683,11 +696,10 @@ func (c *compiler) intAssign(e *AssignExpr) evalIntFn {
 			c.bug(e.P, "compound array store %s typed as int", e.Op)
 		}
 		rhs := c.asInt(e.RHS)
-		elem := c.elemFn(ix)
+		p := c.elemPtr(ix)
 		return func(fr *frame) int64 {
 			v := rhs(fr)
-			a, off := elem(fr)
-			a.Data[off] = float64(v)
+			*p(fr) = float64(v)
 			return v
 		}
 	}
@@ -820,24 +832,20 @@ func (c *compiler) floatExpr(e Expr) evalFloatFn {
 			return els(fr)
 		}
 	case *IndexExpr:
-		elem := c.elemFn(e)
-		return func(fr *frame) float64 {
-			a, off := elem(fr)
-			return a.Data[off]
-		}
+		return c.floatIndexLoad(e)
 	case *AssignExpr:
 		return c.floatAssign(e)
 	case *IncDecExpr:
 		inc := e.Op == INC
 		if ix, ok := stripParens(e.X).(*IndexExpr); ok {
-			elem := c.elemFn(ix)
+			p := c.elemPtr(ix)
 			return func(fr *frame) float64 {
-				a, off := elem(fr)
-				old := a.Data[off]
+				pp := p(fr)
+				old := *pp
 				if inc {
-					a.Data[off] = old + 1
+					*pp = old + 1
 				} else {
-					a.Data[off] = old - 1
+					*pp = old - 1
 				}
 				return old
 			}
@@ -889,15 +897,14 @@ func floatArith(op TokenKind) func(a, b float64) float64 {
 // floatAssign compiles an assignment whose value is statically double.
 func (c *compiler) floatAssign(e *AssignExpr) evalFloatFn {
 	if ix, ok := stripParens(e.LHS).(*IndexExpr); ok {
-		elem := c.elemFn(ix)
+		p := c.elemPtr(ix)
 		if e.Op == ASSIGN {
 			rhs := c.floatExpr(e.RHS)
 			return func(fr *frame) float64 {
 				// Match the tree-walker's evaluation order: RHS first,
 				// then the target subscripts.
 				v := rhs(fr)
-				a, off := elem(fr)
-				a.Data[off] = v
+				*p(fr) = v
 				return v
 			}
 		}
@@ -911,9 +918,9 @@ func (c *compiler) floatAssign(e *AssignExpr) evalFloatFn {
 		fop := floatArith(base)
 		return func(fr *frame) float64 {
 			v := rhs(fr)
-			a, off := elem(fr)
-			nv := fop(a.Data[off], v)
-			a.Data[off] = nv
+			pp := p(fr)
+			nv := fop(*pp, v)
+			*pp = nv
 			return nv
 		}
 	}
@@ -953,41 +960,81 @@ func (c *compiler) exprVoid(e Expr) evalVoidFn {
 		return c.exprVoid(e.X)
 	case *AssignExpr:
 		if ix, ok := stripParens(e.LHS).(*IndexExpr); ok {
-			elem := c.elemFn(ix)
+			p := c.elemPtr(ix)
 			rhs := c.asFloat(e.RHS)
 			if e.Op == ASSIGN {
 				return func(fr *frame) {
 					v := rhs(fr)
-					a, off := elem(fr)
-					a.Data[off] = v
+					*p(fr) = v
 				}
 			}
 			base, ok := compoundBase(e.Op)
 			if !ok {
 				c.bug(e.P, "unsupported assignment op %s", e.Op)
 			}
+			// The compound ops kernels live in compile to direct machine
+			// arithmetic; % keeps the shared closure.
+			switch base {
+			case PLUS:
+				return func(fr *frame) {
+					v := rhs(fr)
+					pp := p(fr)
+					*pp += v
+				}
+			case MINUS:
+				return func(fr *frame) {
+					v := rhs(fr)
+					pp := p(fr)
+					*pp -= v
+				}
+			case STAR:
+				return func(fr *frame) {
+					v := rhs(fr)
+					pp := p(fr)
+					*pp *= v
+				}
+			case SLASH:
+				return func(fr *frame) {
+					v := rhs(fr)
+					pp := p(fr)
+					*pp /= v
+				}
+			}
 			fop := floatArith(base)
 			return func(fr *frame) {
 				v := rhs(fr)
-				a, off := elem(fr)
-				a.Data[off] = fop(a.Data[off], v)
+				pp := p(fr)
+				*pp = fop(*pp, v)
 			}
 		}
 	case *IncDecExpr:
 		if ix, ok := stripParens(e.X).(*IndexExpr); ok {
-			elem := c.elemFn(ix)
+			p := c.elemPtr(ix)
 			inc := e.Op == INC
 			return func(fr *frame) {
-				a, off := elem(fr)
+				pp := p(fr)
 				if inc {
-					a.Data[off]++
+					*pp++
 				} else {
-					a.Data[off]--
+					*pp--
 				}
 			}
 		}
 	}
-	x := c.expr(e)
+	// Typed statement expressions run their unboxed evaluator directly,
+	// skipping the Value-boxing wrapper a discarded c.expr would build.
+	if _, ok := constEval(e); ok {
+		return func(*frame) {} // pure constant in statement position
+	}
+	switch c.kindOf(e) {
+	case kInt:
+		f := c.intExpr(e)
+		return func(fr *frame) { f(fr) }
+	case kFloat:
+		f := c.floatExpr(e)
+		return func(fr *frame) { f(fr) }
+	}
+	x := c.dynExpr(e)
 	return func(fr *frame) { x(fr) }
 }
 
@@ -1118,8 +1165,50 @@ func (c *compiler) elemFn(e *IndexExpr) func(fr *frame) (*Array, int) {
 		c.bug(e.P, "indexed expression is not a variable")
 	}
 	if h := c.tryHoist(root, subs); h != nil {
-		return h
+		return c.hoistElem(h)
 	}
+	return c.checkedElem(e, root, subs)
+}
+
+// floatIndexLoad compiles an element read. Hoisted accesses fuse into a
+// single closure (no accessor hop); everything else goes through the
+// checked accessor.
+func (c *compiler) floatIndexLoad(e *IndexExpr) evalFloatFn {
+	root, subs := splitIndexChain(e)
+	if root == nil {
+		c.bug(e.P, "indexed expression is not a variable")
+	}
+	if h := c.tryHoist(root, subs); h != nil {
+		return c.hoistFloatLoad(h)
+	}
+	elem := c.checkedElem(e, root, subs)
+	return func(fr *frame) float64 {
+		a, off := elem(fr)
+		return a.Data[off]
+	}
+}
+
+// elemPtr compiles an element access for store sites to a *float64
+// accessor, fused for hoisted accesses. The pointer is materialized at
+// exactly the point the checked path would evaluate its subscripts, so
+// evaluation order (and faults) are unchanged.
+func (c *compiler) elemPtr(e *IndexExpr) func(fr *frame) *float64 {
+	root, subs := splitIndexChain(e)
+	if root == nil {
+		c.bug(e.P, "indexed expression is not a variable")
+	}
+	if h := c.tryHoist(root, subs); h != nil {
+		return c.hoistElemPtr(h)
+	}
+	elem := c.checkedElem(e, root, subs)
+	return func(fr *frame) *float64 {
+		a, off := elem(fr)
+		return &a.Data[off]
+	}
+}
+
+// checkedElem is the fully-checked (array, offset) accessor.
+func (c *compiler) checkedElem(e *IndexExpr, root *Ident, subs []Expr) func(fr *frame) (*Array, int) {
 	arrGet := c.arrayRef(root)
 	file := c.prog.fname
 	pos := e.P
@@ -1427,6 +1516,9 @@ func (c *compiler) call(e *CallExpr) evalFn {
 	if c.isBuiltin(e) {
 		f := c.floatBuiltin(e)
 		return func(fr *frame) Value { return FloatV(f(fr)) }
+	}
+	if site := c.siteFor(e); site != nil {
+		return c.inlineCall(e, site)
 	}
 	cf := c.prog.funcs[e.Fun]
 	if cf == nil {

@@ -282,6 +282,58 @@ double f() {
 		},
 	},
 	{
+		"mvt", benchMvtSrc, "mvt",
+		func() []any {
+			n := 9
+			vec := func(s float64) *Array {
+				x := NewArray(n)
+				for i := range x.Data {
+					x.Data[i] = float64(i%5)*s + 0.25
+				}
+				return x
+			}
+			A := NewArray(n, n)
+			for i := range A.Data {
+				A.Data[i] = float64(i%7) * 0.4
+			}
+			return []any{IntV(int64(n)), vec(1.1), vec(0.7), vec(1.3), vec(0.9), A}
+		},
+	},
+	{
+		"trisolv", benchTrisolvSrc, "trisolv",
+		func() []any {
+			n := 8
+			L := NewArray(n, n)
+			for i := 0; i < n; i++ {
+				for j := 0; j <= i; j++ {
+					L.Set(float64(i+j)/5.0+1.0, i, j)
+				}
+			}
+			b := NewArray(n)
+			for i := range b.Data {
+				b.Data[i] = float64(i%4) + 0.5
+			}
+			return []any{IntV(int64(n)), L, NewArray(n), b}
+		},
+	},
+	{
+		"cholesky", benchCholeskySrc, "cholesky",
+		func() []any {
+			n := 7
+			A := NewArray(n, n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					v := 0.05 * float64((i*j)%5)
+					if i == j {
+						v = float64(n) + 1.5
+					}
+					A.Set(v, i, j)
+				}
+			}
+			return []any{IntV(int64(n)), A}
+		},
+	},
+	{
 		"mixed-int-float-assign",
 		`double f(double z) {
   double s = 0.0;
@@ -299,6 +351,16 @@ double f() {
 		"f",
 		func() []any { return []any{IntV(7)} },
 	},
+}
+
+// mustVariant derives a Program variant or fails the test.
+func mustVariant(t *testing.T, p *Program, opts ...Option) *Program {
+	t.Helper()
+	v, err := p.Variant(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
 }
 
 func sameValue(a, b Value) bool {
@@ -330,8 +392,9 @@ func TestCompiledParityWithWalker(t *testing.T) {
 			}{
 				{"interp", NewInterp(f)},
 				{"instance-O2", prog.NewInstance()},
-				{"variant-O1", prog.Variant(WithOptLevel(O1)).NewInstance()},
-				{"variant-O0", prog.Variant(WithOptLevel(O0)).NewInstance()},
+				{"variant-O3", mustVariant(t, prog, WithOptLevel(O3)).NewInstance()},
+				{"variant-O1", mustVariant(t, prog, WithOptLevel(O1)).NewInstance()},
+				{"variant-O0", mustVariant(t, prog, WithOptLevel(O0)).NewInstance()},
 			}
 			wArgs := tc.args()
 			wv, werr := NewWalker(f).Call(tc.fn, wArgs...)

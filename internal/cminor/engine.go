@@ -13,9 +13,9 @@ import (
 // variants under different optimization configurations) and then called
 // many times, concurrently, with per-call control.
 //
-//	prog, err := Compile(file)                  // resolve+typecheck+lower once
-//	o0 := prog.Variant(WithOptLevel(O0))        // another knob setting, shared front end
-//	inst := prog.NewInstance()                  // one per goroutine
+//	prog, err := Compile(file)                   // resolve+typecheck+lower once
+//	o3, err := prog.Variant(WithOptLevel(O3))    // another knob setting, shared front end
+//	inst := prog.NewInstance()                   // one per goroutine
 //	v, err := inst.CallContext(ctx, "gemm", args...)
 //
 // A Program holds only read-only state (the AST is never written after
@@ -66,6 +66,15 @@ const (
 	// O2 adds the loop optimizer: native counted loops and
 	// strength-reduced affine subscripts (the default).
 	O2
+	// O3 adds user-function inlining (inline.go), value-range analysis
+	// with bounds-check elimination (rangeanal.go), and store-loop
+	// unrolling for scalar reductions (loopopt.go). Semantics stay
+	// bit-identical to the walker; O3 widens the knob space the
+	// autotuning layer selects over.
+	O3
+
+	// maxOptLevel is the highest level Compile/Variant accept.
+	maxOptLevel = O3
 )
 
 // String renders the level in -O spelling.
@@ -89,13 +98,19 @@ type Option func(*config)
 func WithBackend(b Backend) Option { return func(c *config) { c.backend = b } }
 
 // WithOptLevel selects the compiled backend's optimization level.
+// Unknown levels are rejected with a positioned diagnostic by Compile
+// and Program.Variant rather than silently degrading.
 func WithOptLevel(l OptLevel) Option {
-	return func(c *config) {
-		if l > O2 {
-			l = O2
-		}
-		c.opt = l
+	return func(c *config) { c.opt = l }
+}
+
+// validate rejects option combinations the engine cannot honour.
+func (c config) validate(file string) error {
+	if c.opt > maxOptLevel {
+		return diagf(file, Pos{}, "unknown optimization level O%d (supported: O0–O%d)",
+			uint8(c.opt), uint8(maxOptLevel))
 	}
+	return nil
 }
 
 // WithMaxSteps sets the default statement budget inherited by every
@@ -132,6 +147,9 @@ func Compile(f *File, opts ...Option) (*Program, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if err := cfg.validate(f.Name); err != nil {
+		return nil, err
+	}
 	res, err := Resolve(f)
 	if err != nil {
 		return nil, err
@@ -142,14 +160,18 @@ func Compile(f *File, opts ...Option) (*Program, error) {
 // Variant lowers the same resolved source under a modified option set,
 // sharing the resolve/typecheck results with p. Options not overridden
 // keep p's values. This is the compile-time exploration hook: build
-// O0/O1/O2 (or walker) variants of one kernel and select among them at
-// run time.
-func (p *Program) Variant(opts ...Option) *Program {
+// O0–O3 (or walker) variants of one kernel and select among them at
+// run time. Unknown option values (e.g. an out-of-range opt level) are
+// reported as a diagnostic, never silently clamped.
+func (p *Program) Variant(opts ...Option) (*Program, error) {
 	cfg := p.cfg
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return lower(p.fname, p.res, p.ti, cfg)
+	if err := cfg.validate(p.fname); err != nil {
+		return nil, err
+	}
+	return lower(p.fname, p.res, p.ti, cfg), nil
 }
 
 // Backend reports the variant's execution backend.
@@ -166,8 +188,20 @@ func lower(fname string, res *ResolvedFile, ti *typeInfo, cfg config) *Program {
 		return p // execution delegates to a per-instance Walker
 	}
 	for name, info := range res.Funcs {
-		p.funcs[name] = &compiledFunc{info: info, idx: p.nfun}
+		p.funcs[name] = &compiledFunc{info: info, idx: p.nfun,
+			nScalars: info.NumScalars, nCells: info.NumCells, nArrays: info.NumArrays}
 		p.nfun++
+	}
+	// At O3 the inliner plans which call sites splice their callee into
+	// the caller's frame; inlined callees get fresh slot blocks, so the
+	// per-variant frame sizes grow past the resolver's counts.
+	var plans map[string]*inlinePlan
+	if cfg.opt >= O3 {
+		plans = planInlining(res, ti)
+		for name, pl := range plans {
+			cf := p.funcs[name]
+			cf.nScalars, cf.nCells, cf.nArrays = pl.numScalars, pl.numCells, pl.numArrays
+		}
 	}
 	for name, cf := range p.funcs {
 		cg := &compiler{prog: p}
@@ -176,7 +210,12 @@ func lower(fname string, res *ResolvedFile, ti *typeInfo, cfg config) *Program {
 			cf.body = cf.generic
 			continue
 		}
-		ct := &compiler{prog: p, types: ti.funcs[name], info: ti, opt: cfg.opt}
+		types := ti.funcs[name]
+		plan := plans[name]
+		if plan != nil {
+			types = plan.types // caller kinds extended over the inlined slots
+		}
+		ct := &compiler{prog: p, types: types, info: ti, opt: cfg.opt, plan: plan}
 		cf.body = ct.block(cf.info.Decl.Body)
 		cf.numHoist = ct.numHoist
 	}
@@ -291,9 +330,9 @@ func (s *Instance) getFrame(cf *compiledFunc) *frame {
 	}
 	fr := &frame{
 		ec:      s,
-		scalars: make([]Value, cf.info.NumScalars),
-		cells:   make([]*Value, cf.info.NumCells),
-		arrays:  make([]*Array, cf.info.NumArrays),
+		scalars: make([]Value, cf.nScalars),
+		cells:   make([]*Value, cf.nCells),
+		arrays:  make([]*Array, cf.nArrays),
 	}
 	if cf.numHoist > 0 {
 		fr.hoists = make([]hoistCell, cf.numHoist)

@@ -58,10 +58,13 @@ double withGlobals(int n, double a[n]) {
 	for _, opts := range [][]Option{
 		{WithOptLevel(O0)},
 		{WithOptLevel(O1)},
+		{WithOptLevel(O3)},
 		{WithBackend(BackendWalker)},
 		{WithMaxSteps(123)},
 	} {
-		p1.Variant(opts...)
+		if _, err := p1.Variant(opts...); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if !reflect.DeepEqual(f, pristine) {
 		t.Error("Compile/Variant modified the input AST")
@@ -216,9 +219,10 @@ double biasedDot(int n, double a[n], double b[n]) {
 	}
 	variants := []*Program{
 		prog,
-		prog.Variant(WithOptLevel(O1)),
-		prog.Variant(WithOptLevel(O0)),
-		prog.Variant(WithBackend(BackendWalker)),
+		mustVariant(t, prog, WithOptLevel(O3)),
+		mustVariant(t, prog, WithOptLevel(O1)),
+		mustVariant(t, prog, WithOptLevel(O0)),
+		mustVariant(t, prog, WithBackend(BackendWalker)),
 	}
 	_, want := dotArgs(16)
 	for _, p := range variants {
@@ -245,6 +249,35 @@ double biasedDot(int n, double a[n], double b[n]) {
 			if v.Float() != want+wantBias {
 				t.Errorf("%s: biasedDot call %d = %g, want %g", name, k, v.Float(), want+wantBias)
 			}
+		}
+	}
+}
+
+// TestWithOptLevelRejectsUnknown pins the option-validation contract:
+// an out-of-range level is a diagnostic at Compile/Variant time, not a
+// silent clamp to the nearest supported level.
+func TestWithOptLevelRejectsUnknown(t *testing.T) {
+	f := MustParse("opt.c", engineDotSrc)
+	if _, err := Compile(f, WithOptLevel(OptLevel(7))); err == nil ||
+		!strings.Contains(err.Error(), "unknown optimization level O7") {
+		t.Errorf("Compile err = %v, want unknown-level diagnostic", err)
+	}
+	prog, err := Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, verr := prog.Variant(WithOptLevel(maxOptLevel + 1))
+	if verr == nil || !strings.Contains(verr.Error(), "unknown optimization level") {
+		t.Errorf("Variant err = %v, want unknown-level diagnostic", verr)
+	}
+	var d *Diag
+	if !errors.As(verr, &d) || !strings.Contains(verr.Error(), "opt.c") {
+		t.Errorf("Variant err = %v, want a *Diag positioned at the translation unit", verr)
+	}
+	// Every supported level still works.
+	for lvl := O0; lvl <= maxOptLevel; lvl++ {
+		if _, err := prog.Variant(WithOptLevel(lvl)); err != nil {
+			t.Errorf("Variant(%s): %v", lvl, err)
 		}
 	}
 }

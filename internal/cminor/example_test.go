@@ -22,7 +22,11 @@ void axpy(int n, double alpha, double x[n], double y[n]) {
 		fmt.Println(err)
 		return
 	}
-	o0 := prog.Variant(WithOptLevel(O0)) // same source, generic lowering
+	o0, err := prog.Variant(WithOptLevel(O0)) // same source, generic lowering
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
 
 	ctx := context.Background()
 	for _, p := range []*Program{prog, o0} {

@@ -264,12 +264,45 @@ func TestDifferentialGeneratedKernels(t *testing.T) {
 				t.Fatalf("error divergence on:\n%s\nwalker=%v compiled=%v instance=%v",
 					src, werr, cerr, ierr)
 			}
+			// The full opt-level axis: every variant from the generic
+			// closures up through the O3 inliner/BCE/unroller must be
+			// bit-identical to the oracle, faults included. The generated
+			// helper calls (hint/hmix/punch/bump) are all inline
+			// candidates, so O3 exercises slot relocation on every seed.
+			type variantRun struct {
+				name string
+				args []any
+				v    Value
+				err  error
+			}
+			var variants []variantRun
+			for _, lvl := range []OptLevel{O0, O1, O3} {
+				vp, verr := prog.Variant(WithOptLevel(lvl))
+				if verr != nil {
+					t.Fatalf("Variant(%s): %v", lvl, verr)
+				}
+				args := diffArgs(8, seed)
+				v, err := vp.NewInstance().Call("k", args...)
+				variants = append(variants, variantRun{lvl.String(), args, v, err})
+			}
+			for _, vr := range variants {
+				if (werr == nil) != (vr.err == nil) {
+					t.Fatalf("%s error divergence on:\n%s\nwalker=%v variant=%v",
+						vr.name, src, werr, vr.err)
+				}
+			}
 			if werr != nil {
 				return
 			}
 			if !sameValue(wv, cv) || !sameValue(wv, iv) {
 				t.Fatalf("return divergence on:\n%s\nwalker=%+v compiled=%+v instance=%+v",
 					src, wv, cv, iv)
+			}
+			for _, vr := range variants {
+				if !sameValue(wv, vr.v) {
+					t.Fatalf("%s return divergence on:\n%s\nwalker=%+v variant=%+v",
+						vr.name, src, wv, vr.v)
+				}
 			}
 			for i := 1; i < len(wArgs); i++ {
 				wa, ca, ia := wArgs[i].(*Array), cArgs[i].(*Array), iArgs[i].(*Array)
@@ -281,6 +314,13 @@ func TestDifferentialGeneratedKernels(t *testing.T) {
 					if math.Float64bits(wa.Data[k]) != math.Float64bits(ia.Data[k]) {
 						t.Fatalf("array %d diverges at flat index %d on:\n%s\nwalker=%g instance=%g",
 							i, k, src, wa.Data[k], ia.Data[k])
+					}
+					for _, vr := range variants {
+						va := vr.args[i].(*Array)
+						if math.Float64bits(wa.Data[k]) != math.Float64bits(va.Data[k]) {
+							t.Fatalf("%s array %d diverges at flat index %d on:\n%s\nwalker=%g variant=%g",
+								vr.name, i, k, src, wa.Data[k], va.Data[k])
+						}
 					}
 				}
 			}

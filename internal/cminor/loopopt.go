@@ -35,6 +35,12 @@ const (
 	hColIV uint8 = iota
 	hRowIV
 	hAllInv
+	// hRange is the O3 bounds-check-elimination pattern: every subscript
+	// has a provable value range over the iteration space (rangeanal.go),
+	// so the per-iteration access computes its offset unchecked; the
+	// range proof runs once in the loop preamble and falls back to the
+	// fully-checked body via the same versioning as the other patterns.
+	hRange
 )
 
 // maxHoistDepth bounds how many nested counted-loop levels may register
@@ -60,10 +66,15 @@ type hoistAccess struct {
 	hslot   int
 	pattern uint8
 	rank    int
+	ivSlot  int // the registering loop's induction slot (hColIV loads)
 	arrGet  func(fr *frame) *Array
 	rowFn   evalIntFn // invariant row (rank 2, colIV/allInv)
 	colFn   evalIntFn // invariant col (rowIV/allInv)
 	ivOff   int64     // c in "i + c"
+	// hRange state (see rangeanal.go): ivals proves one value interval
+	// per dimension, idxFns are the unchecked per-iteration subscripts.
+	ivals  []intervalFn
+	idxFns []evalIntFn
 }
 
 // setup validates this access over the whole iteration range
@@ -114,6 +125,19 @@ func (h *hoistAccess) setup(fr *frame, iv0, ivLast int64) bool {
 			return false
 		}
 		hc.arr, hc.base, hc.step = a, base+int(col), 0
+	case hRange:
+		// Prove every dimension's subscript interval fits its bound; the
+		// per-iteration access then computes the offset unchecked.
+		for k, ivl := range h.ivals {
+			lo, hi, ok := ivl(fr, iv0, ivLast)
+			if !ok || lo < 0 || hi >= int64(a.Dims[k]) {
+				return false
+			}
+		}
+		hc.arr, hc.base, hc.step = a, 0, 0
+		if h.rank == 2 {
+			hc.step = a.Dims[1]
+		}
 	}
 	return true
 }
@@ -210,9 +234,32 @@ func (c *compiler) countedLoop(s *ForStmt) stmtFn {
 
 	// Compile the body with the loop context active so elemFn can
 	// register strength-reduced subscripts; when any were registered,
-	// compile a second, fully-checked version for the fallback.
+	// compile a second, fully-checked version for the fallback. At O3 a
+	// single-assignment body ("s = s + expr" reductions, stencil stores)
+	// skips the statement dispatch entirely: its store is compiled
+	// store-only and the loop is unrolled 4-wide with a scalar remainder.
 	c.loops = append(c.loops, lc)
-	fastBody := c.block(s.Body)
+	var fastBody stmtFn
+	var redOp evalVoidFn
+	stepExact := false
+	if c.opt >= O3 {
+		if es := singleAssignStmt(s.Body); es != nil {
+			redOp = c.exprVoid(es.X)
+			// An inlined callee inside the store charges its own steps, so
+			// a 4-wide group no longer costs exactly 8: the amortized
+			// budget check would fault late. Such bodies keep the full
+			// per-statement step() so budget faults stay bit-exact.
+			Walk(es.X, func(n Node) bool {
+				if call, ok := n.(*CallExpr); ok && !c.isBuiltin(call) {
+					stepExact = true
+				}
+				return true
+			})
+		}
+	}
+	if redOp == nil {
+		fastBody = c.block(s.Body)
+	}
 	c.loops = c.loops[:len(c.loops)-1]
 	safeBody := fastBody
 	if len(lc.hoisted) > 0 {
@@ -224,6 +271,10 @@ func (c *compiler) countedLoop(s *ForStmt) stmtFn {
 		if h.pattern == hRowIV {
 			incs = append(incs, h.hslot)
 		}
+	}
+
+	if redOp != nil {
+		return c.unrolledStoreLoop(loFn, hiFn, strict, ivSlot, hoists, incs, redOp, safeBody, stepExact)
 	}
 
 	return func(fr *frame) flow {
@@ -302,6 +353,189 @@ func (c *compiler) countedLoop(s *ForStmt) stmtFn {
 	}
 }
 
+// singleAssignStmt returns the loop body's sole statement when it is a
+// lone assignment (or ++/--) expression statement — the store-loop /
+// reduction shape the O3 unroller compiles directly — else nil.
+func singleAssignStmt(b *Block) *ExprStmt {
+	if len(b.Stmts) != 1 {
+		return nil
+	}
+	es, ok := b.Stmts[0].(*ExprStmt)
+	if !ok {
+		return nil
+	}
+	switch stripParens(es.X).(type) {
+	case *AssignExpr, *IncDecExpr:
+		return es
+	}
+	return nil
+}
+
+// unrolledStoreLoop emits the O3 fast path for a counted loop whose
+// body is a single store statement: the store runs without statement
+// dispatch, four iterations per trip with a scalar remainder. Every
+// iteration still charges exactly the two step()s and performs exactly
+// the stores of the generic counted loop, in the same order, so step
+// budgets, faults and partial state stay bit-identical. iv advances
+// with Go's wrapping ++ like the generic skeleton, and the 4-wide
+// guard compares the remaining trip count in exact uint64 arithmetic,
+// so even bound-of-MaxInt64 pathologies behave identically.
+//
+// Kept out of countedLoop (go:noinline) deliberately: if this body is
+// inlined there, the emitted closure is re-parented into that much
+// larger function and the compiler stops inlining step() at the hot
+// call sites — measured at ~10% on gemm.
+//
+//go:noinline
+func (c *compiler) unrolledStoreLoop(loFn, hiFn evalIntFn, strict bool, ivSlot int,
+	hoists []*hoistAccess, incs []int, op evalVoidFn, safeBody stmtFn, stepExact bool) stmtFn {
+	singleInc := -1
+	if len(incs) == 1 {
+		singleInc = incs[0]
+	}
+	return func(fr *frame) flow {
+		fr.ec.step() // the for statement itself
+		fr.ec.step() // its init statement
+		var iv int64
+		if loFn != nil {
+			iv = loFn(fr)
+		}
+		fr.scalars[ivSlot] = IntV(iv)
+		last := hiFn(fr)
+		if strict {
+			if last == math.MinInt64 {
+				return flowNormal
+			}
+			last--
+		}
+		if iv > last {
+			return flowNormal
+		}
+		for _, h := range hoists {
+			if h.setup(fr, iv, last) {
+				continue
+			}
+			// Loop versioning: a failed range proof runs the fully-checked
+			// body one iteration at a time, like the generic counted loop.
+			for {
+				if f := safeBody(fr); f != flowNormal {
+					return f
+				}
+				iv++
+				fr.scalars[ivSlot].I = iv
+				fr.ec.step()
+				if iv > last {
+					return flowNormal
+				}
+			}
+		}
+		// The 4-wide groups run only while ≥4 iterations remain — the
+		// uint64 difference is exact for iv <= last, so the guard cannot
+		// mispredict the trip count even at the int64 extremes; the tail
+		// runs the same per-iteration sequence one at a time.
+		switch {
+		case singleInc >= 0:
+			hs := singleInc
+			for {
+				// A 4-wide group charges 8 statements. Pre-checking the
+				// budget once lets the group use plain increments — the
+				// counts stay exact at every statement (faults included),
+				// only the limit comparison is amortized. Near the limit
+				// (or after a cancellation watcher dropped it) the tail
+				// path's full step() faults at the exact statement. Bodies
+				// with inlined calls charge more than 8 per group, so they
+				// pin stepExact and always take the tail path.
+				ec := fr.ec
+				if !stepExact && uint64(last)-uint64(iv) >= 3 && int64(ec.steps) <= ec.limit.Load()-8 {
+					ec.steps++
+					op(fr)
+					fr.hoists[hs].base += fr.hoists[hs].step
+					iv++
+					fr.scalars[ivSlot].I = iv
+					ec.steps += 2
+					op(fr)
+					fr.hoists[hs].base += fr.hoists[hs].step
+					iv++
+					fr.scalars[ivSlot].I = iv
+					ec.steps += 2
+					op(fr)
+					fr.hoists[hs].base += fr.hoists[hs].step
+					iv++
+					fr.scalars[ivSlot].I = iv
+					ec.steps += 2
+					op(fr)
+					fr.hoists[hs].base += fr.hoists[hs].step
+					iv++
+					fr.scalars[ivSlot].I = iv
+					ec.steps++
+					if iv > last {
+						return flowNormal
+					}
+					continue
+				}
+				fr.ec.step()
+				op(fr)
+				fr.hoists[hs].base += fr.hoists[hs].step
+				iv++
+				fr.scalars[ivSlot].I = iv
+				fr.ec.step()
+				if iv > last {
+					return flowNormal
+				}
+			}
+		case len(incs) > 1:
+			for {
+				fr.ec.step()
+				op(fr)
+				for _, hs := range incs {
+					fr.hoists[hs].base += fr.hoists[hs].step
+				}
+				iv++
+				fr.scalars[ivSlot].I = iv
+				fr.ec.step()
+				if iv > last {
+					return flowNormal
+				}
+			}
+		default:
+			for {
+				ec := fr.ec
+				if !stepExact && uint64(last)-uint64(iv) >= 3 && int64(ec.steps) <= ec.limit.Load()-8 {
+					ec.steps++
+					op(fr)
+					iv++
+					fr.scalars[ivSlot].I = iv
+					ec.steps += 2
+					op(fr)
+					iv++
+					fr.scalars[ivSlot].I = iv
+					ec.steps += 2
+					op(fr)
+					iv++
+					fr.scalars[ivSlot].I = iv
+					ec.steps += 2
+					op(fr)
+					iv++
+					fr.scalars[ivSlot].I = iv
+					ec.steps++
+					if iv > last {
+						return flowNormal
+					}
+					continue
+				}
+				fr.ec.step()
+				op(fr)
+				iv++
+				fr.scalars[ivSlot].I = iv
+				fr.ec.step()
+				if iv > last {
+					return flowNormal
+				}
+			}
+		}
+	}
+}
+
 // isIVIdent reports whether id resolves to the induction slot.
 func (c *compiler) isIVIdent(id *Ident, ivSlot int) bool {
 	ref := c.refOf(id)
@@ -341,9 +575,13 @@ func (c *compiler) isUnitStep(post Expr, ivSlot int) bool {
 }
 
 // analyzeLoopBody collects what the loop body can modify. It returns
-// nil when the body contains a user function call — a call can mutate
-// globals, arrays, and any variable whose address was taken, which
-// defeats every invariance argument the optimizer relies on.
+// nil when the body contains an out-of-line user function call — a call
+// can mutate globals, arrays, and any variable whose address was taken,
+// which defeats every invariance argument the optimizer relies on.
+// Calls the O3 inliner splices into this body are not opaque: their
+// parameter binds and body writes are accounted like inline code (with
+// slot relocation active), so small helper calls no longer force the
+// generic loop.
 func (c *compiler) analyzeLoopBody(b *Block, ivSlot int) *loopCtx {
 	lc := &loopCtx{
 		ivSlot:     ivSlot,
@@ -352,13 +590,20 @@ func (c *compiler) analyzeLoopBody(b *Block, ivSlot int) *loopCtx {
 		declArrays: map[int]bool{},
 	}
 	ok := true
-	Walk(b, func(n Node) bool {
+	var visit func(Node) bool
+	visit = func(n Node) bool {
 		switch n := n.(type) {
 		case *CallExpr:
-			if !c.isBuiltin(n) {
+			if c.isBuiltin(n) {
+				return true
+			}
+			site := c.siteFor(n)
+			if site == nil {
 				ok = false
 				return false
 			}
+			c.markInlinedCall(lc, n, site, visit)
+			return false // arguments and callee body were walked above
 		case *DeclStmt:
 			switch ref := c.declRef(n); ref.Kind {
 			case VarScalar:
@@ -376,7 +621,8 @@ func (c *compiler) analyzeLoopBody(b *Block, ivSlot int) *loopCtx {
 			c.markWrite(lc, n.X)
 		}
 		return true
-	})
+	}
+	Walk(b, visit)
 	if !ok {
 		return nil
 	}
@@ -467,10 +713,12 @@ func (c *compiler) ivAffine(e Expr, ivSlot int) (int64, bool) {
 	return 0, false
 }
 
-// tryHoist registers a strength-reduced accessor for a rank-1/2
-// subscript chain inside the innermost counted loop, or returns nil
-// when the access doesn't qualify.
-func (c *compiler) tryHoist(root *Ident, subs []Expr) func(fr *frame) (*Array, int) {
+// tryHoist classifies and registers a strength-reduced (or, at O3,
+// range-proved) subscript chain against the innermost counted loop,
+// returning its hoistAccess — nil when the access doesn't qualify and
+// must stay checked. Callers build the actual accessor closure with
+// hoistElem / hoistFloatLoad / hoistElemPtr.
+func (c *compiler) tryHoist(root *Ident, subs []Expr) *hoistAccess {
 	if len(c.loops) == 0 || len(subs) < 1 || len(subs) > 2 {
 		return nil
 	}
@@ -500,24 +748,34 @@ func (c *compiler) tryHoist(root *Ident, subs []Expr) func(fr *frame) (*Array, i
 		off int64
 	}
 	cls := make([]subClass, len(subs))
+	rangeOnly := false
 	for i, sx := range subs {
 		if off, ok := c.ivAffine(sx, lc.ivSlot); ok {
 			cls[i] = subClass{iv: true, off: off}
 		} else if c.invariant(sx, lc) {
 			cls[i] = subClass{}
 		} else {
-			return nil
+			rangeOnly = true
 		}
 	}
-	h := &hoistAccess{hslot: c.numHoist, rank: len(subs), arrGet: c.arrayRef(root)}
+	if rangeOnly || (len(subs) == 2 && cls[0].iv && cls[1].iv) {
+		// Diagonal walks (A[i][i+c]) and subscripts that are neither
+		// IV-affine nor invariant miss the strength-reduced patterns; at
+		// O3 the range analysis can still prove them in bounds and drop
+		// the per-iteration checks.
+		if c.opt >= O3 {
+			return c.tryRangeHoist(root, subs, lc)
+		}
+		return nil
+	}
+	h := &hoistAccess{hslot: c.numHoist, rank: len(subs), arrGet: c.arrayRef(root),
+		ivSlot: lc.ivSlot}
 	switch {
 	case len(subs) == 1 && cls[0].iv:
 		h.pattern, h.ivOff = hColIV, cls[0].off
 	case len(subs) == 1:
 		h.pattern = hAllInv
 		h.colFn = c.asInt(subs[0])
-	case cls[0].iv && cls[1].iv:
-		return nil // A[i][i+c]: diagonal walks stay on the generic path
 	case cls[1].iv:
 		h.pattern, h.ivOff = hColIV, cls[1].off
 		h.rowFn = c.asInt(subs[0])
@@ -531,16 +789,103 @@ func (c *compiler) tryHoist(root *Ident, subs []Expr) func(fr *frame) (*Array, i
 	}
 	c.numHoist++
 	lc.hoisted = append(lc.hoisted, h)
+	return h
+}
+
+// hoistElem builds the (array, flat offset) accessor for a registered
+// hoist — the general form used where an *Array is needed.
+func (c *compiler) hoistElem(h *hoistAccess) func(fr *frame) (*Array, int) {
 	hslot := h.hslot
-	if h.pattern == hColIV {
-		ivSlot := lc.ivSlot
+	switch h.pattern {
+	case hColIV:
+		ivSlot := h.ivSlot
 		return func(fr *frame) (*Array, int) {
 			hc := &fr.hoists[hslot]
 			return hc.arr, hc.base + int(fr.scalars[ivSlot].I)
 		}
+	case hRange:
+		if h.rank == 1 {
+			i0 := h.idxFns[0]
+			return func(fr *frame) (*Array, int) {
+				hc := &fr.hoists[hslot]
+				return hc.arr, int(i0(fr))
+			}
+		}
+		i0, i1 := h.idxFns[0], h.idxFns[1]
+		return func(fr *frame) (*Array, int) {
+			hc := &fr.hoists[hslot]
+			return hc.arr, int(i0(fr))*hc.step + int(i1(fr))
+		}
+	default: // hRowIV, hAllInv: the incremental/constant offset is the state
+		return func(fr *frame) (*Array, int) {
+			hc := &fr.hoists[hslot]
+			return hc.arr, hc.base
+		}
 	}
-	return func(fr *frame) (*Array, int) {
-		hc := &fr.hoists[hslot]
-		return hc.arr, hc.base
+}
+
+// hoistFloatLoad builds a fused element load for a registered hoist:
+// one closure, no (array, offset) accessor hop. Element reads inside
+// hot loops go through here.
+func (c *compiler) hoistFloatLoad(h *hoistAccess) evalFloatFn {
+	hslot := h.hslot
+	switch h.pattern {
+	case hColIV:
+		ivSlot := h.ivSlot
+		return func(fr *frame) float64 {
+			hc := &fr.hoists[hslot]
+			return hc.arr.Data[hc.base+int(fr.scalars[ivSlot].I)]
+		}
+	case hRange:
+		if h.rank == 1 {
+			i0 := h.idxFns[0]
+			return func(fr *frame) float64 {
+				hc := &fr.hoists[hslot]
+				return hc.arr.Data[int(i0(fr))]
+			}
+		}
+		i0, i1 := h.idxFns[0], h.idxFns[1]
+		return func(fr *frame) float64 {
+			hc := &fr.hoists[hslot]
+			return hc.arr.Data[int(i0(fr))*hc.step+int(i1(fr))]
+		}
+	default:
+		return func(fr *frame) float64 {
+			hc := &fr.hoists[hslot]
+			return hc.arr.Data[hc.base]
+		}
+	}
+}
+
+// hoistElemPtr builds a fused element-pointer accessor for store sites:
+// the returned *float64 is read and/or written exactly where the
+// checked path would load and store.
+func (c *compiler) hoistElemPtr(h *hoistAccess) func(fr *frame) *float64 {
+	hslot := h.hslot
+	switch h.pattern {
+	case hColIV:
+		ivSlot := h.ivSlot
+		return func(fr *frame) *float64 {
+			hc := &fr.hoists[hslot]
+			return &hc.arr.Data[hc.base+int(fr.scalars[ivSlot].I)]
+		}
+	case hRange:
+		if h.rank == 1 {
+			i0 := h.idxFns[0]
+			return func(fr *frame) *float64 {
+				hc := &fr.hoists[hslot]
+				return &hc.arr.Data[int(i0(fr))]
+			}
+		}
+		i0, i1 := h.idxFns[0], h.idxFns[1]
+		return func(fr *frame) *float64 {
+			hc := &fr.hoists[hslot]
+			return &hc.arr.Data[int(i0(fr))*hc.step+int(i1(fr))]
+		}
+	default:
+		return func(fr *frame) *float64 {
+			hc := &fr.hoists[hslot]
+			return &hc.arr.Data[hc.base]
+		}
 	}
 }

@@ -1,9 +1,12 @@
 package cminor
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
+	"time"
 )
 
 // runBoth executes one program through the walker and the compiled
@@ -17,33 +20,48 @@ func runBoth(t *testing.T, src, fn string, mkArgs func() []any) (wv, cv Value, w
 	return
 }
 
-// diffCheck asserts walker/compiled parity for one program: same
+// diffCheck asserts walker/compiled parity for one program across the
+// default (O2) pipeline and the O3 inliner/BCE/unroller variant: same
 // error-or-not outcome, same returned Value, bit-identical arrays.
 func diffCheck(t *testing.T, name, src, fn string, mk func() []any) {
 	t.Helper()
 	f := MustParse("t.c", src)
-	wArgs, cArgs := mk(), mk()
+	wArgs := mk()
 	wv, werr := NewWalker(f).Call(fn, wArgs...)
-	cv, cerr := NewInterp(f).Call(fn, cArgs...)
-	if (werr == nil) != (cerr == nil) {
-		t.Fatalf("%s: error divergence walker=%v compiled=%v", name, werr, cerr)
-	}
-	if werr == nil && !sameValue(wv, cv) {
-		t.Fatalf("%s: return divergence walker=%+v compiled=%+v", name, wv, cv)
-	}
-	for i := range wArgs {
-		wa, ok := wArgs[i].(*Array)
-		if !ok {
-			continue
+	run := func(level string, call func(args []any) (Value, error)) {
+		cArgs := mk()
+		cv, cerr := call(cArgs)
+		if (werr == nil) != (cerr == nil) {
+			t.Fatalf("%s/%s: error divergence walker=%v compiled=%v", name, level, werr, cerr)
 		}
-		ca := cArgs[i].(*Array)
-		for k := range wa.Data {
-			if math.Float64bits(wa.Data[k]) != math.Float64bits(ca.Data[k]) {
-				t.Fatalf("%s: array %d diverges at %d: walker=%g compiled=%g",
-					name, i, k, wa.Data[k], ca.Data[k])
+		if werr == nil && !sameValue(wv, cv) {
+			t.Fatalf("%s/%s: return divergence walker=%+v compiled=%+v", name, level, wv, cv)
+		}
+		for i := range wArgs {
+			wa, ok := wArgs[i].(*Array)
+			if !ok {
+				continue
+			}
+			ca := cArgs[i].(*Array)
+			for k := range wa.Data {
+				if math.Float64bits(wa.Data[k]) != math.Float64bits(ca.Data[k]) {
+					t.Fatalf("%s/%s: array %d diverges at %d: walker=%g compiled=%g",
+						name, level, i, k, wa.Data[k], ca.Data[k])
+				}
 			}
 		}
 	}
+	in := NewInterp(f)
+	run("O2", func(args []any) (Value, error) { return in.Call(fn, args...) })
+	o3, err := Compile(f, WithOptLevel(O3))
+	if err != nil {
+		if werr == nil {
+			t.Fatalf("%s: O3 Compile rejected what the walker ran: %v", name, err)
+		}
+		return
+	}
+	inst := o3.NewInstance()
+	run("O3", func(args []any) (Value, error) { return inst.Call(fn, args...) })
 }
 
 // Inner loop's hoisted access fails preflight (a[j+off] out of range when
@@ -375,6 +393,90 @@ double f(double a[10]) {
 	if !strings.Contains(cerr.Error(), "index 10 out of range") ||
 		!strings.Contains(cerr.Error(), "t.c:") {
 		t.Errorf("compiled fault should be the positioned range error, got %q", cerr)
+	}
+}
+
+// TestUnrolledLoopBudgetExactness: the O3 unrolled store loop amortizes
+// the budget *comparison* over 4-wide groups, but the statement charge
+// stays exact — a budget that expires anywhere inside a would-be group
+// must fault at the same statement (and leave the same Steps count) as
+// the walker, for any alignment of budget vs group boundary.
+func TestUnrolledLoopBudgetExactness(t *testing.T) {
+	srcs := map[string]string{
+		"plain": `
+double f(int n, double a[n]) {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < n; i++) {
+    s = s + a[i];
+  }
+  return s;
+}`,
+		// An inlined callee charges its own statements inside the store
+		// op, so a 4-wide group costs more than 8 steps — the loop must
+		// not amortize the budget check there (it would fault late).
+		"inlined-call": `
+double sq(double x) { return x * x; }
+double f(int n, double a[n]) {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < n; i++) {
+    s = s + sq(a[i]);
+  }
+  return s;
+}`,
+	}
+	for name, src := range srcs {
+		f := MustParse("t.c", src)
+		for budget := 1; budget <= 230; budget++ {
+			w := NewWalker(f)
+			w.MaxSteps = budget
+			wv, werr := w.Call("f", IntV(64), NewArray(64))
+			prog, err := Compile(f, WithOptLevel(O3), WithMaxSteps(budget))
+			if err != nil {
+				t.Fatal(err)
+			}
+			inst := prog.NewInstance()
+			cv, cerr := inst.Call("f", IntV(64), NewArray(64))
+			if (werr == nil) != (cerr == nil) {
+				t.Fatalf("%s budget %d: error divergence walker=%v O3=%v", name, budget, werr, cerr)
+			}
+			if werr == nil && !sameValue(wv, cv) {
+				t.Fatalf("%s budget %d: value divergence", name, budget)
+			}
+			if w.Steps != inst.Steps() {
+				t.Fatalf("%s budget %d: walker ran %d steps, O3 ran %d",
+					name, budget, w.Steps, inst.Steps())
+			}
+		}
+	}
+}
+
+// TestUnrolledLoopCancellation: the cancellation watcher drops the step
+// limit; the unrolled loop's group-entry check must notice within one
+// group and abort with the wrapped context error.
+func TestUnrolledLoopCancellation(t *testing.T) {
+	src := `
+double f(int n, double a[n]) {
+  int t;
+  int i;
+  double s = 0.0;
+  for (t = 0; t < 100000000; t++) {
+    for (i = 0; i < n; i++) {
+      s = s + a[i];
+    }
+  }
+  return s;
+}`
+	prog, err := Compile(MustParse("t.c", src), WithOptLevel(O3), WithMaxSteps(1<<40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	_, cerr := prog.NewInstance().CallContext(ctx, "f", IntV(256), NewArray(256))
+	if !errors.Is(cerr, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want wrapped context.DeadlineExceeded", cerr)
 	}
 }
 

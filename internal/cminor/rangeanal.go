@@ -1,0 +1,208 @@
+package cminor
+
+import "math"
+
+// Value-range analysis (the second O3 pass): prove that a subscript
+// expression stays inside its array dimension for every iteration of
+// the innermost counted loop, so the access can skip its per-iteration
+// bounds check entirely. The analysis piggybacks on the structures the
+// earlier passes already built — the resolver's slot bindings decide
+// which identifiers are the induction variable, the typechecker's kind
+// tables restrict composites to exact int64 arithmetic, and the loop
+// optimizer's invariance sets say which operands are frozen for the
+// whole loop.
+//
+// Ranges are symbolic until loop entry: an intervalFn evaluates the
+// interval of its expression over iv ∈ [iv0, ivLast] in the loop's
+// versioning preamble, where the concrete bounds and every invariant
+// operand are known. Composites combine child intervals with corner
+// arithmetic (+, -, *, unary -); every corner is overflow-checked, so a
+// proof only succeeds when the per-iteration evaluation provably stays
+// in int64 — otherwise setup fails and the loop runs the fully-checked
+// safe body, which faults exactly where the unoptimized pipeline would.
+// Because each node's runtime value always lies inside its (possibly
+// over-approximate) interval, a successful proof covers correlated
+// operands such as the diagonal A[i][i] too.
+
+// intervalFn evaluates the value interval of one expression over the
+// iteration range [iv0, ivLast]. ok=false means the interval could not
+// be established (overflow in a corner) and the caller must deopt.
+type intervalFn func(fr *frame, iv0, ivLast int64) (lo, hi int64, ok bool)
+
+// ivInterval builds an interval evaluator for e over the innermost
+// counted loop's induction range, or nil when e's range cannot be
+// bounded: e must be the induction variable, a pure loop-invariant
+// expression, or a statically-int composite of +, -, * and unary -
+// over such operands.
+func (c *compiler) ivInterval(e Expr, lc *loopCtx) intervalFn {
+	e = stripParens(e)
+	if id, ok := e.(*Ident); ok && c.isIVIdent(id, lc.ivSlot) {
+		return func(_ *frame, iv0, ivLast int64) (int64, int64, bool) {
+			return iv0, ivLast, true
+		}
+	}
+	if c.invariant(e, lc) {
+		// Pure and frozen across the loop: one evaluation at proof time
+		// equals every per-iteration evaluation.
+		f := c.asInt(e)
+		return func(fr *frame, _, _ int64) (int64, int64, bool) {
+			v := f(fr)
+			return v, v, true
+		}
+	}
+	// IV-dependent composites must be statically int so the interval's
+	// int64 corner arithmetic models the per-iteration evaluation
+	// exactly.
+	k := c.kindOf(e)
+	c.constKind(e, &k)
+	if k != kInt {
+		return nil
+	}
+	switch e := e.(type) {
+	case *UnExpr:
+		if e.Op != MINUS {
+			return nil
+		}
+		x := c.ivInterval(e.X, lc)
+		if x == nil {
+			return nil
+		}
+		return func(fr *frame, iv0, ivLast int64) (int64, int64, bool) {
+			xl, xh, ok := x(fr, iv0, ivLast)
+			if !ok {
+				return 0, 0, false
+			}
+			lo, ok1 := negOv(xh)
+			hi, ok2 := negOv(xl)
+			return lo, hi, ok1 && ok2
+		}
+	case *BinExpr:
+		var comb func(xl, xh, yl, yh int64) (int64, int64, bool)
+		switch e.Op {
+		case PLUS:
+			comb = ivlAdd
+		case MINUS:
+			comb = ivlSub
+		case STAR:
+			comb = ivlMul
+		default:
+			return nil // / and % can fault; their reordering is not free
+		}
+		x := c.ivInterval(e.X, lc)
+		if x == nil {
+			return nil
+		}
+		y := c.ivInterval(e.Y, lc)
+		if y == nil {
+			return nil
+		}
+		return func(fr *frame, iv0, ivLast int64) (int64, int64, bool) {
+			xl, xh, ok := x(fr, iv0, ivLast)
+			if !ok {
+				return 0, 0, false
+			}
+			yl, yh, ok := y(fr, iv0, ivLast)
+			if !ok {
+				return 0, 0, false
+			}
+			return comb(xl, xh, yl, yh)
+		}
+	}
+	return nil
+}
+
+// tryRangeHoist registers an hRange access for a subscript chain whose
+// dimensions all have provable intervals: the preamble proves each
+// interval against the array bound and the per-iteration access
+// computes its flat offset unchecked. Returns nil when any dimension is
+// unprovable (the access then compiles fully checked).
+func (c *compiler) tryRangeHoist(root *Ident, subs []Expr, lc *loopCtx) *hoistAccess {
+	ivals := make([]intervalFn, len(subs))
+	idx := make([]evalIntFn, len(subs))
+	for i, sx := range subs {
+		ivals[i] = c.ivInterval(sx, lc)
+		if ivals[i] == nil {
+			return nil
+		}
+		idx[i] = c.asInt(sx)
+	}
+	h := &hoistAccess{hslot: c.numHoist, pattern: hRange, rank: len(subs),
+		ivSlot: lc.ivSlot, arrGet: c.arrayRef(root), ivals: ivals, idxFns: idx}
+	c.numHoist++
+	lc.hoisted = append(lc.hoisted, h)
+	return h
+}
+
+// ---- overflow-checked interval corner arithmetic ----
+
+func addOv(a, b int64) (int64, bool) {
+	s := a + b
+	if (b > 0 && s < a) || (b < 0 && s > a) {
+		return 0, false
+	}
+	return s, true
+}
+
+func subOv(a, b int64) (int64, bool) {
+	d := a - b
+	if (b < 0 && d < a) || (b > 0 && d > a) {
+		return 0, false
+	}
+	return d, true
+}
+
+func mulOv(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	if (a == math.MinInt64 && b == -1) || (b == math.MinInt64 && a == -1) {
+		return 0, false
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}
+
+func negOv(a int64) (int64, bool) {
+	if a == math.MinInt64 {
+		return 0, false
+	}
+	return -a, true
+}
+
+// ivlAdd/ivlSub/ivlMul combine child intervals. The extremes of each
+// operation over a box of operands are attained at corners, so if every
+// corner is representable the true per-iteration value is too.
+func ivlAdd(xl, xh, yl, yh int64) (int64, int64, bool) {
+	lo, ok1 := addOv(xl, yl)
+	hi, ok2 := addOv(xh, yh)
+	return lo, hi, ok1 && ok2
+}
+
+func ivlSub(xl, xh, yl, yh int64) (int64, int64, bool) {
+	lo, ok1 := subOv(xl, yh)
+	hi, ok2 := subOv(xh, yl)
+	return lo, hi, ok1 && ok2
+}
+
+func ivlMul(xl, xh, yl, yh int64) (int64, int64, bool) {
+	c0, ok0 := mulOv(xl, yl)
+	c1, ok1 := mulOv(xl, yh)
+	c2, ok2 := mulOv(xh, yl)
+	c3, ok3 := mulOv(xh, yh)
+	if !ok0 || !ok1 || !ok2 || !ok3 {
+		return 0, 0, false
+	}
+	lo, hi := c0, c0
+	for _, v := range [...]int64{c1, c2, c3} {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi, true
+}

@@ -1,0 +1,217 @@
+package cminor
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// numHoistAt compiles src at the given level and reports how many
+// subscripts the named function hoisted.
+func numHoistAt(t *testing.T, src, fn string, lvl OptLevel) int {
+	t.Helper()
+	prog, err := Compile(MustParse("t.c", src), WithOptLevel(lvl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog.funcs[fn].numHoist
+}
+
+// TestRangeDiagonalProven: diagonal accesses (both subscripts the
+// induction variable) miss every strength-reduction pattern but are
+// provable by the range analysis — O3 must hoist them, O2 must not.
+func TestRangeDiagonalProven(t *testing.T) {
+	src := `
+double f(int n, double A[n][n]) {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < n; i++) {
+    s = s + A[i][i] * A[i][i + 1 - 1];
+  }
+  return s;
+}`
+	if got := numHoistAt(t, src, "f", O2); got != 0 {
+		t.Errorf("O2 hoisted %d diagonal accesses, want 0", got)
+	}
+	if got := numHoistAt(t, src, "f", O3); got != 2 {
+		t.Errorf("O3 hoisted %d accesses, want both diagonals", got)
+	}
+	mk := func() []any {
+		A := NewArray(7, 7)
+		for i := range A.Data {
+			A.Data[i] = float64(i%5) * 0.5
+		}
+		return []any{IntV(7), A}
+	}
+	diffCheck(t, "diagonal", src, "f", mk)
+}
+
+// TestRangeGeneralAffineProven: an index combining the induction
+// variable with an invariant scalar (i + j, 2 * i) is beyond the
+// strength-reduction patterns but inside the interval analysis.
+func TestRangeGeneralAffineProven(t *testing.T) {
+	src := `
+double f(int n, int m, double a[n], double b[n]) {
+  int i; int j;
+  double s = 0.0;
+  for (j = 0; j < m; j++) {
+    for (i = 0; i < m; i++) {
+      s = s + a[i + j] + b[2 * i];
+    }
+  }
+  return s;
+}`
+	if got := numHoistAt(t, src, "f", O3); got < 2 {
+		t.Errorf("O3 hoisted %d accesses, want a[i+j] and b[2*i] proven", got)
+	}
+	mk := func() []any {
+		a, b := NewArray(10), NewArray(10)
+		for i := range a.Data {
+			a.Data[i] = float64(i) * 1.25
+			b.Data[i] = float64(i%3) + 0.5
+		}
+		return []any{IntV(10), IntV(5), a, b}
+	}
+	diffCheck(t, "general-affine", src, "f", mk)
+}
+
+// TestRangeUnprovenFaultFallback: when the proof fails at loop entry
+// (the range really is out of bounds), the loop must run the checked
+// body and fault at the walker's exact iteration with identical partial
+// state. diffCheck compares partial arrays on the error path.
+func TestRangeUnprovenFaultFallback(t *testing.T) {
+	src := `
+double f(int n, int m, double A[n][n]) {
+  int i;
+  double s = 0.0;
+  for (i = 0; i < m; i++) {
+    A[i][i] = A[i][i] + 1.0;
+    s = s + A[i][i];
+  }
+  return s;
+}`
+	for _, m := range []int64{4, 9} { // m=9 walks the diagonal off a 4×4 array
+		mk := func() []any {
+			A := NewArray(4, 4)
+			for i := range A.Data {
+				A.Data[i] = float64(i) * 0.25
+			}
+			return []any{IntV(4), IntV(m), A}
+		}
+		diffCheck(t, "diag-fault", src, "f", mk)
+	}
+}
+
+// TestRangeOverflowDeopt: a subscript whose interval corners overflow
+// int64 must fail the proof and fault through the checked body with the
+// positioned diagnostic, never wrap into a bogus "in bounds" access.
+func TestRangeOverflowDeopt(t *testing.T) {
+	src := `
+double f(double a[8]) {
+  int i;
+  double s = 0.0;
+  for (i = 1; i < 9223372036854775807; i++) {
+    s = s + a[i * 4611686018427387904];
+  }
+  return s;
+}`
+	_, _, werr, cerr, _, _ := runBoth(t, src, "f", func() []any { return []any{NewArray(8)} })
+	if werr == nil || cerr == nil {
+		t.Fatalf("expected faults, walker=%v compiled=%v", werr, cerr)
+	}
+	prog, err := Compile(MustParse("t.c", src), WithOptLevel(O3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, o3err := prog.NewInstance().Call("f", NewArray(8))
+	if o3err == nil || !strings.Contains(o3err.Error(), "out of range") ||
+		!strings.Contains(o3err.Error(), "t.c:") {
+		t.Errorf("O3 fault should be the positioned range error, got %v", o3err)
+	}
+}
+
+// TestRangeTriangularKernels: triangular loops (bound is the outer IV)
+// drive the interval proof through runtime-evaluated invariant bounds —
+// the trisolv/cholesky shape.
+func TestRangeTriangularKernels(t *testing.T) {
+	diffCheck(t, "trisolv", benchTrisolvSrc, "trisolv", func() []any {
+		n := 9
+		L, x, b := NewArray(n, n), NewArray(n), NewArray(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				L.Set(float64(i+j)/4.0+1.0, i, j)
+			}
+			b.Data[i] = float64(i%5) + 0.5
+		}
+		return []any{IntV(int64(n)), L, x, b}
+	})
+	diffCheck(t, "cholesky", benchCholeskySrc, "cholesky", func() []any {
+		n := 8
+		A := NewArray(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := 0.1 * float64(i*j%7)
+				if i == j {
+					v = float64(n) + 2.0 // diagonally dominant → SPD-ish
+				}
+				A.Set(v, i, j)
+			}
+		}
+		return []any{IntV(int64(n)), A}
+	})
+	diffCheck(t, "mvt", benchMvtSrc, "mvt", func() []any {
+		n := 9
+		vec := func() *Array {
+			a := NewArray(n)
+			for i := range a.Data {
+				a.Data[i] = float64(i%4) * 0.75
+			}
+			return a
+		}
+		A := NewArray(n, n)
+		for i := range A.Data {
+			A.Data[i] = float64(i%6) * 0.3
+		}
+		return []any{IntV(int64(n)), vec(), vec(), vec(), vec(), A}
+	})
+}
+
+// TestIntervalCornerArithmetic unit-tests the overflow-checked corner
+// helpers at their extremes.
+func TestIntervalCornerArithmetic(t *testing.T) {
+	maxI, minI := int64(math.MaxInt64), int64(math.MinInt64)
+	if _, ok := addOv(maxI, 1); ok {
+		t.Error("addOv(max, 1) must overflow")
+	}
+	if v, ok := addOv(maxI, -1); !ok || v != maxI-1 {
+		t.Errorf("addOv(max, -1) = %d,%v", v, ok)
+	}
+	if _, ok := subOv(minI, 1); ok {
+		t.Error("subOv(min, 1) must overflow")
+	}
+	if _, ok := subOv(0, minI); ok {
+		t.Error("subOv(0, min) must overflow (-min is not representable)")
+	}
+	if _, ok := mulOv(minI, -1); ok {
+		t.Error("mulOv(min, -1) must overflow")
+	}
+	if _, ok := mulOv(1<<32, 1<<32); ok {
+		t.Error("mulOv(2^32, 2^32) must overflow")
+	}
+	if v, ok := mulOv(1<<31, 1<<31); !ok || v != 1<<62 {
+		t.Errorf("mulOv(2^31, 2^31) = %d,%v, want 2^62", v, ok)
+	}
+	if v, ok := mulOv(-(1 << 20), 1<<20); !ok || v != -(1<<40) {
+		t.Errorf("mulOv(-2^20, 2^20) = %d,%v", v, ok)
+	}
+	if _, ok := negOv(minI); ok {
+		t.Error("negOv(min) must overflow")
+	}
+	// Corners: -3·-5=15, -3·4=-12, 2·-5=-10, 2·4=8.
+	if lo, hi, ok := ivlMul(-3, 2, -5, 4); !ok || lo != -12 || hi != 15 {
+		t.Errorf("ivlMul([-3,2],[-5,4]) = [%d,%d],%v, want [-12,15]", lo, hi, ok)
+	}
+	if lo, hi, ok := ivlSub(0, 10, -4, 6); !ok || lo != -6 || hi != 14 {
+		t.Errorf("ivlSub([0,10],[-4,6]) = [%d,%d],%v, want [-6,14]", lo, hi, ok)
+	}
+}

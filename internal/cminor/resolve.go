@@ -10,8 +10,10 @@ package cminor
 // be resolved (and the resulting Program shared) concurrently.
 
 // FuncInfo is the resolver's summary of one function definition: the slot
-// counts that size its execution frame and the storage class of each
-// parameter.
+// counts that size its execution frame, the storage class of each
+// parameter, and the body-shape facts later passes piggyback on (the O3
+// inliner reads BodyNodes/UserCalls instead of re-walking bodies per
+// variant).
 type FuncInfo struct {
 	Decl   *FuncDecl
 	Params []VarRef
@@ -19,6 +21,10 @@ type FuncInfo struct {
 	NumScalars int
 	NumCells   int
 	NumArrays  int
+	// BodyNodes counts AST nodes in the body; UserCalls counts call
+	// sites that name a user function (builtins excluded).
+	BodyNodes int
+	UserCalls int
 }
 
 // GlobalScalar describes a resolved file-scope scalar.
@@ -245,6 +251,15 @@ func (r *resolver) function(fn *FuncDecl) *FuncInfo {
 		r.top()[p.Name] = &symbol{ref: ref, rank: len(p.Type.Dims), kind: p.Type.Kind}
 	}
 	r.block(fn.Body)
+	// Body-shape summary for later passes; the builtin marks are fresh
+	// from the walk above, so user calls are exactly the unmarked ones.
+	Walk(fn.Body, func(n Node) bool {
+		info.BodyNodes++
+		if call, ok := n.(*CallExpr); ok && !r.res.builtins[call.ID] {
+			info.UserCalls++
+		}
+		return true
+	})
 	r.pop()
 	r.cur = nil
 	return info

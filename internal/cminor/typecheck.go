@@ -77,6 +77,22 @@ type fnTypes struct {
 	expr map[Expr]kind
 }
 
+// fork returns a mutable copy of ft for variant-local extension — the
+// O3 inliner appends relocated callee slots and merges callee
+// expression kinds. The shared typecheck results are never written
+// after the fixpoint, which is what keeps concurrent lowerings of one
+// front end race-free.
+func (ft *fnTypes) fork() *fnTypes {
+	c := &fnTypes{
+		scalars: append([]kind(nil), ft.scalars...),
+		expr:    make(map[Expr]kind, len(ft.expr)),
+	}
+	for e, k := range ft.expr {
+		c.expr[e] = k
+	}
+	return c
+}
+
 // typeInfo is the typechecker's result for a whole file.
 type typeInfo struct {
 	res     *ResolvedFile
