@@ -2,7 +2,7 @@
 # PRs: it writes the full benchmark event stream (go test -json) to
 # BENCH_$(PR).json so successive PRs can be diffed.
 
-PR ?= 4
+PR ?= 5
 BENCHCOUNT ?= 5
 
 .PHONY: all build test test-race vet fmt bench bench-smoke
@@ -27,12 +27,14 @@ fmt:
 # Full benchmark sweep, recorded as JSON for cross-PR tracking. The
 # `-bench .` regex includes the *Parallel benchmarks (shared-Program
 # Instances across GOMAXPROCS goroutines), the single-thread
-# walker/compiled pairs, and BenchmarkOptLevels — every kernel at every
-# opt level O0–O3, the per-variant data the autotuning layer selects on.
+# walker/compiled pairs, BenchmarkOptLevels — every kernel at every
+# opt level O0–O3, the static per-variant data the autotuner starts
+# from — and BenchmarkAutotuned: the online tuner's steady state next
+# to the best and worst static variant of every kernel.
 bench:
-	go test ./internal/cminor -run '^$$' -bench . -benchmem -count=$(BENCHCOUNT) -json > BENCH_$(PR).json
+	go test ./internal/cminor/... -run '^$$' -bench . -benchmem -count=$(BENCHCOUNT) -json > BENCH_$(PR).json
 	@echo "wrote BENCH_$(PR).json"
 
 # One-iteration smoke run for CI: proves every benchmark still executes.
 bench-smoke:
-	go test ./internal/cminor -run '^$$' -bench . -benchmem -benchtime 1x
+	go test ./internal/cminor/... -run '^$$' -bench . -benchmem -benchtime 1x

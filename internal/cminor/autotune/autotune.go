@@ -1,0 +1,348 @@
+// Package autotune is the runtime layer of the SOCRATES reproduction:
+// online selection among the compile-time variants of one program.
+//
+// The engine's design-time side compiles a kernel into an immutable
+// grid of variants (backend × O0–O3, the O3 passes individually
+// gate-able — see cminor.WithOptLevel / cminor.WithPasses) and `make
+// bench` records their static costs. This package closes the loop the
+// paper describes: an AutoTuner wraps one *cminor.Program, measures
+// each variant in production, and converges on the best one per
+// (function, input-size class) — re-opening exploration when the
+// winner's observed cost drifts, so the choice adapts under load.
+//
+// The decision loop is built to be simulation-testable: cost
+// measurements flow through an injected Sampler (default: wall time
+// from an injected Clock), and exploration randomness comes from a
+// seeded PRNG, so tests drive convergence, exploration budgets and
+// drift reactions deterministically with a fake clock — no sleeping,
+// no flaky timing.
+//
+//	prog, _ := cminor.Compile(file)
+//	tn, _ := autotune.New(prog)
+//	v, err := tn.Call("gemm", args...)   // routed to the current best guess
+//
+// AutoTuner is safe for concurrent use: selection state is mutex-
+// guarded, variants materialize lazily exactly once, and every
+// execution runs on a pooled per-call Instance (cminor.InstancePool),
+// whose Put restores the step budget so no call inherits another's.
+package autotune
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	cm "socrates/internal/cminor"
+)
+
+// config is the resolved option set of one AutoTuner.
+type config struct {
+	grid       []VariantSpec
+	policy     Policy
+	epsilon    float64 // exploit-phase exploration rate (EpsilonGreedy)
+	alpha      float64 // EWMA weight of a new measurement
+	minSamples int     // measure-phase pull quota per arm
+	drift      float64 // winner-cost tolerance band before re-exploring
+	ucbC       float64 // UCB1 confidence scale
+	seed       uint64
+	clock      Clock
+	sampler    Sampler
+	classify   func(args []any) int
+}
+
+func defaultTunerConfig() config {
+	return config{
+		grid:       DefaultGrid(),
+		policy:     EpsilonGreedy,
+		epsilon:    0.05,
+		alpha:      0.3,
+		minSamples: 3,
+		drift:      0.5,
+		ucbC:       1.0,
+		seed:       1,
+		clock:      wallClock{},
+		classify:   SizeClass,
+	}
+}
+
+// Option configures New.
+type Option func(*config)
+
+// WithGrid replaces the variant grid the tuner selects over (default
+// DefaultGrid: compiled O0–O3).
+func WithGrid(specs ...VariantSpec) Option {
+	return func(c *config) { c.grid = append([]VariantSpec{}, specs...) }
+}
+
+// WithPolicy selects the exploit-phase policy (default EpsilonGreedy).
+func WithPolicy(p Policy) Option { return func(c *config) { c.policy = p } }
+
+// WithEpsilon sets the EpsilonGreedy exploration rate in [0, 1]
+// (default 0.05).
+func WithEpsilon(eps float64) Option { return func(c *config) { c.epsilon = eps } }
+
+// WithEWMAAlpha sets the weight a new measurement carries in the cost
+// estimate, in (0, 1] (default 0.3).
+func WithEWMAAlpha(a float64) Option { return func(c *config) { c.alpha = a } }
+
+// WithMinSamples sets the measure-phase pull quota per arm (default 3).
+// The exploration budget of a fresh site is exactly len(grid)*n calls.
+func WithMinSamples(n int) Option { return func(c *config) { c.minSamples = n } }
+
+// WithDriftFactor sets the winner-cost degradation tolerance:
+// exploration reopens when the winner's EWMA rises past
+// baseline*(1+f) (default 0.5). The winner improving is not drift —
+// the baseline tightens to the improved cost instead.
+func WithDriftFactor(f float64) Option { return func(c *config) { c.drift = f } }
+
+// WithSeed seeds the tuner's deterministic exploration PRNG.
+func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
+
+// WithClock injects the time source the default Sampler measures with.
+func WithClock(clk Clock) Option { return func(c *config) { c.clock = clk } }
+
+// WithSampler injects the measurement seam itself, bypassing the
+// Clock-based default — simulation tests substitute a synthetic cost
+// model here.
+func WithSampler(s Sampler) Option { return func(c *config) { c.sampler = s } }
+
+// WithClassifier replaces the input classifier (default SizeClass:
+// log2 buckets of total array elements).
+func WithClassifier(fn func(args []any) int) Option {
+	return func(c *config) { c.classify = fn }
+}
+
+// siteKey identifies one tuning site.
+type siteKey struct {
+	fn    string
+	class int
+}
+
+// variantSlot is one lazily-materialized grid point: the variant
+// Program plus its Instance pool, built at most once.
+type variantSlot struct {
+	once sync.Once
+	prog *cm.Program
+	pool *cm.InstancePool
+	err  error
+}
+
+// AutoTuner routes calls to one of several variants of a shared
+// Program, learning per-(function, input-class) which variant is
+// cheapest. Create with New; safe for concurrent use.
+//
+// The tuner targets stateless compute kernels — the paper's workload.
+// Calls execute on pooled per-variant Instances, and an Instance's
+// file-scope global variables persist per session: a kernel that
+// accumulates state in globals would observe routing (different
+// variants and checkouts see different global histories). Tune only
+// kernels whose outputs are a function of their arguments; run
+// stateful kernels on a dedicated Instance instead.
+type AutoTuner struct {
+	base    *cm.Program
+	cfg     config
+	sampler Sampler
+	slots   []*variantSlot // parallel to cfg.grid
+
+	mu    sync.Mutex
+	rng   splitmix64
+	sites map[siteKey]*siteState
+}
+
+// New wraps prog in an AutoTuner. The grid is validated eagerly (an
+// unknown opt level or pass bit is an error here, not at first call)
+// but variants are materialized lazily, on the first call routed to
+// them — a tuner over a large grid costs nothing for arms never tried.
+func New(prog *cm.Program, opts ...Option) (*AutoTuner, error) {
+	cfg := defaultTunerConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if len(cfg.grid) == 0 {
+		return nil, fmt.Errorf("autotune: empty variant grid")
+	}
+	if cfg.minSamples < 1 {
+		return nil, fmt.Errorf("autotune: min samples must be >= 1, got %d", cfg.minSamples)
+	}
+	if cfg.epsilon < 0 || cfg.epsilon > 1 {
+		return nil, fmt.Errorf("autotune: epsilon must be in [0, 1], got %g", cfg.epsilon)
+	}
+	if cfg.alpha <= 0 || cfg.alpha > 1 {
+		return nil, fmt.Errorf("autotune: EWMA alpha must be in (0, 1], got %g", cfg.alpha)
+	}
+	if cfg.drift <= 0 {
+		return nil, fmt.Errorf("autotune: drift factor must be > 0, got %g", cfg.drift)
+	}
+	for _, spec := range cfg.grid {
+		// Run the engine's own option validation now so a typo'd grid
+		// fails fast — without lowering anything; variants still
+		// materialize lazily, on first selection.
+		if err := prog.CheckOptions(spec.options()...); err != nil {
+			return nil, fmt.Errorf("autotune: grid point %v: %w", spec, err)
+		}
+	}
+	t := &AutoTuner{
+		base:    prog,
+		cfg:     cfg,
+		sampler: cfg.sampler,
+		slots:   make([]*variantSlot, len(cfg.grid)),
+		rng:     splitmix64(cfg.seed),
+		sites:   map[siteKey]*siteState{},
+	}
+	if t.sampler == nil {
+		t.sampler = clockSampler{clock: cfg.clock}
+	}
+	for i := range t.slots {
+		t.slots[i] = &variantSlot{}
+	}
+	return t, nil
+}
+
+// Grid reports the tuner's variant grid.
+func (t *AutoTuner) Grid() []VariantSpec {
+	return append([]VariantSpec{}, t.cfg.grid...)
+}
+
+// variant materializes (once) and returns grid point idx.
+func (t *AutoTuner) variant(idx int) (*variantSlot, error) {
+	s := t.slots[idx]
+	s.once.Do(func() {
+		s.prog, s.err = t.base.Variant(t.cfg.grid[idx].options()...)
+		if s.err == nil {
+			s.pool = s.prog.NewPool()
+		}
+	})
+	return s, s.err
+}
+
+// site returns (creating if needed) the selection state for key.
+// Caller holds t.mu.
+func (t *AutoTuner) site(key siteKey) *siteState {
+	st := t.sites[key]
+	if st == nil {
+		st = newSiteState(len(t.cfg.grid))
+		t.sites[key] = st
+	}
+	return st
+}
+
+// Call routes one invocation of the named function through the
+// explore/exploit policy: a variant is selected for the call's
+// (function, input-size class) site, the call runs on a pooled
+// Instance of that variant, and the measured cost feeds the site's
+// estimates. Semantics are those of Instance.Call on whichever variant
+// was picked — every variant is bit-exact with the walker, so routing
+// is unobservable apart from speed.
+func (t *AutoTuner) Call(fn string, args ...any) (cm.Value, error) {
+	return t.call(nil, fn, args)
+}
+
+// CallContext is Call with cancellation, forwarded to
+// Instance.CallContext. A cancelled call still counts its pull, but
+// its (truncated) cost is not folded into the estimates.
+func (t *AutoTuner) CallContext(ctx context.Context, fn string, args ...any) (cm.Value, error) {
+	return t.call(ctx, fn, args)
+}
+
+func (t *AutoTuner) call(ctx context.Context, fn string, args []any) (cm.Value, error) {
+	// Reject unknown functions before any selection state exists:
+	// otherwise caller-supplied garbage names would grow the site map
+	// without bound and charge pulls that can never be measured.
+	if !t.base.HasFunc(fn) {
+		return cm.Value{}, fmt.Errorf("autotune: no function %q", fn)
+	}
+	key := siteKey{fn: fn, class: t.cfg.classify(args)}
+
+	t.mu.Lock()
+	idx := t.site(key).choose(&t.cfg, &t.rng)
+	t.mu.Unlock()
+
+	slot, err := t.variant(idx)
+	if err != nil {
+		return cm.Value{}, err
+	}
+	inst := slot.pool.Get()
+	var ret cm.Value
+	var cost time.Duration
+	var callErr error
+	if cs, isClock := t.sampler.(clockSampler); isClock {
+		// Closure-free fast path for the default sampler: on the small
+		// kernels the routed call is tens of microseconds, so the tuner
+		// itself must not allocate per call.
+		t0 := cs.clock.Now()
+		if ctx != nil {
+			ret, callErr = inst.CallContext(ctx, fn, args...)
+		} else {
+			ret, callErr = inst.Call(fn, args...)
+		}
+		cost = cs.clock.Now().Sub(t0)
+	} else {
+		cost, callErr = t.sampler.Sample(fn, t.cfg.grid[idx], key.class, func() error {
+			var e error
+			if ctx != nil {
+				ret, e = inst.CallContext(ctx, fn, args...)
+			} else {
+				ret, e = inst.Call(fn, args...)
+			}
+			return e
+		})
+	}
+	// Put restores the pooled session's budget, so the next checkout
+	// starts fresh regardless of what this call consumed.
+	slot.pool.Put(inst)
+
+	t.mu.Lock()
+	t.site(key).observe(&t.cfg, idx, float64(cost), callErr == nil)
+	t.mu.Unlock()
+	return ret, callErr
+}
+
+// Best reports the winning variant of a converged (function, class)
+// site. ok is false while the site is unknown or still exploring.
+func (t *AutoTuner) Best(fn string, class int) (spec VariantSpec, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.sites[siteKey{fn: fn, class: class}]
+	if st == nil || st.phase != phaseExploit {
+		return VariantSpec{}, false
+	}
+	return t.cfg.grid[st.best], true
+}
+
+// Snapshot returns the state of every tuning site, sorted by function
+// then class — the introspection surface tests and monitoring read.
+func (t *AutoTuner) Snapshot() []SiteReport {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	reports := make([]SiteReport, 0, len(t.sites))
+	for key, st := range t.sites {
+		r := SiteReport{
+			Fn:           key.fn,
+			Class:        key.class,
+			Converged:    st.phase == phaseExploit,
+			Best:         t.cfg.grid[st.best],
+			Pulls:        st.pulls,
+			ExplorePulls: st.explore,
+			Reopens:      st.reopens,
+			Arms:         make([]ArmReport, len(st.arms)),
+		}
+		for i := range st.arms {
+			r.Arms[i] = ArmReport{
+				Spec:    t.cfg.grid[i],
+				Pulls:   st.arms[i].pulls,
+				EWMA:    durationOf(st.arms[i].ewma),
+				Sampled: st.arms[i].sampled,
+			}
+		}
+		reports = append(reports, r)
+	}
+	sort.Slice(reports, func(i, j int) bool {
+		if reports[i].Fn != reports[j].Fn {
+			return reports[i].Fn < reports[j].Fn
+		}
+		return reports[i].Class < reports[j].Class
+	})
+	return reports
+}

@@ -1,0 +1,59 @@
+package autotune
+
+import "time"
+
+// Clock abstracts time so the tuning loop never reads the wall clock
+// directly: production uses the real clock, tests inject a fake and
+// the whole decision loop — measurement, convergence, drift — runs
+// deterministically.
+type Clock interface {
+	Now() time.Time
+}
+
+// wallClock is the production Clock.
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+// Sampler executes one routed call and reports its observed cost. It
+// is the tuner's measurement seam: the default implementation times
+// call() with the tuner's Clock, while simulation tests substitute a
+// synthetic cost model keyed on (function, variant, class) so
+// convergence and drift behavior can be pinned exactly.
+//
+// Sample must invoke call exactly once; the error it returns is
+// surfaced to the caller of AutoTuner.Call unchanged.
+type Sampler interface {
+	Sample(fn string, spec VariantSpec, class int, call func() error) (time.Duration, error)
+}
+
+// clockSampler is the production Sampler: cost = wall time of the call.
+type clockSampler struct {
+	clock Clock
+}
+
+func (s clockSampler) Sample(_ string, _ VariantSpec, _ int, call func() error) (time.Duration, error) {
+	t0 := s.clock.Now()
+	err := call()
+	return s.clock.Now().Sub(t0), err
+}
+
+// splitmix64 is the tuner's tiny deterministic PRNG (epsilon-greedy
+// exploration draws). Seeded explicitly, so a tuner's decision sequence
+// is reproducible; all use is under the tuner mutex.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+func (s *splitmix64) float64() float64 { return float64(s.next()>>11) / (1 << 53) }
+
+func (s *splitmix64) intn(n int) int { return int(s.next() % uint64(n)) }

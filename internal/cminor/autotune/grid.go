@@ -1,0 +1,82 @@
+package autotune
+
+import (
+	"math/bits"
+
+	cm "socrates/internal/cminor"
+)
+
+// VariantSpec names one point of the knob space: an execution backend,
+// an optimization level, and — at O3 — the subset of O3 passes enabled
+// (cminor.PassMask). The zero value is the compiled O0 variant.
+type VariantSpec struct {
+	Backend cm.Backend
+	Opt     cm.OptLevel
+	Passes  cm.PassMask
+}
+
+// String renders the spec the way benchmark output names variants:
+// "walker", "O0"…"O3", or "O3[inline+bce]" for a partial pass mask.
+func (v VariantSpec) String() string {
+	if v.Backend == cm.BackendWalker {
+		return "walker"
+	}
+	if v.Opt == cm.O3 && v.Passes != cm.AllPasses {
+		return "O3[" + v.Passes.String() + "]"
+	}
+	return v.Opt.String()
+}
+
+// options expands the spec into the engine options that materialize it.
+func (v VariantSpec) options() []cm.Option {
+	return []cm.Option{
+		cm.WithBackend(v.Backend),
+		cm.WithOptLevel(v.Opt),
+		cm.WithPasses(v.Passes),
+	}
+}
+
+// DefaultGrid is the four-point opt-level axis of the compiled backend
+// — the grid BENCH_<n>.json records static baselines for.
+func DefaultGrid() []VariantSpec {
+	return []VariantSpec{
+		{Opt: cm.O0},
+		{Opt: cm.O1},
+		{Opt: cm.O2},
+		{Opt: cm.O3, Passes: cm.AllPasses},
+	}
+}
+
+// FineGrid refines the O3 point into every pass subset: O0–O2 plus the
+// seven non-empty (inline, bce, unroll) combinations — ten arms.
+// O3 with an empty mask is omitted: it behaves exactly like O2, and a
+// duplicate arm would only split the winner's samples. Use FineGrid
+// when the per-pass interactions matter more than convergence speed.
+func FineGrid() []VariantSpec {
+	g := []VariantSpec{{Opt: cm.O0}, {Opt: cm.O1}, {Opt: cm.O2}}
+	for m := cm.PassMask(1); m <= cm.AllPasses; m++ {
+		g = append(g, VariantSpec{Opt: cm.O3, Passes: m})
+	}
+	return g
+}
+
+// WalkerGrid appends the tree-walking oracle to a grid — useful for
+// differential deployments where one arm must be the reference
+// semantics.
+func WalkerGrid(g []VariantSpec) []VariantSpec {
+	return append(append([]VariantSpec{}, g...), VariantSpec{Backend: cm.BackendWalker})
+}
+
+// SizeClass is the default input classifier: arguments are bucketed by
+// the total number of array elements they carry, on a log2 scale, so
+// calls whose working sets differ by ~2× or more tune independently.
+// Scalar-only calls land in class 0.
+func SizeClass(args []any) int {
+	total := uint(0)
+	for _, a := range args {
+		if arr, ok := a.(*cm.Array); ok && arr != nil {
+			total += uint(len(arr.Data))
+		}
+	}
+	return bits.Len(total)
+}

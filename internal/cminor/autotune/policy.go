@@ -1,0 +1,106 @@
+package autotune
+
+import "math"
+
+// Policy selects how a converged site balances exploiting the winner
+// against re-sampling the other arms.
+type Policy uint8
+
+const (
+	// EpsilonGreedy routes a small fixed fraction of exploit-phase
+	// calls (WithEpsilon) to a uniformly random non-winning arm — the
+	// default: cheap, predictable residual exploration.
+	EpsilonGreedy Policy = iota
+	// UCB1 picks the arm minimizing EWMA minus a confidence bonus that
+	// shrinks as an arm accumulates pulls (the classic bandit upper
+	// confidence bound, adapted to cost minimization). Fully
+	// deterministic: no random draws at all.
+	UCB1
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == UCB1 {
+		return "ucb1"
+	}
+	return "epsilon-greedy"
+}
+
+// choose picks the arm for the next call at st and charges the pull.
+// Caller holds the tuner mutex; rng is the tuner's seeded PRNG.
+func (st *siteState) choose(cfg *config, rng *splitmix64) int {
+	st.pulls++
+	if st.phase == phaseMeasure {
+		idx := st.nextMeasured(cfg)
+		st.arms[idx].pulls++
+		return idx
+	}
+	var idx int
+	switch cfg.policy {
+	case UCB1:
+		idx = st.chooseUCB(cfg)
+	default:
+		idx = st.chooseEpsilon(cfg, rng)
+	}
+	if idx != st.best {
+		st.explore++
+	}
+	st.arms[idx].pulls++
+	return idx
+}
+
+// nextMeasured picks the measure-phase arm: each arm is pulled its
+// whole quota in one burst before the cursor moves on. Bursts matter:
+// switching variants is itself expensive (cold closure graph,
+// predictor/icache thrash), so an arm's first sample after a switch
+// runs high — sampling arm-by-arm means the later samples of the
+// burst are switch-free and the min-based estimate (armStats.update)
+// lands on the true cost. With every quota met but the phase not yet
+// advanced (in-flight concurrent measurements), it falls back to the
+// best estimate so far.
+func (st *siteState) nextMeasured(cfg *config) int {
+	n := len(st.arms)
+	for k := 0; k < n; k++ {
+		idx := (st.cursor + k) % n
+		if st.arms[idx].pulls < int64(cfg.minSamples) {
+			st.cursor = idx // stay on this arm until its quota is met
+			return idx
+		}
+	}
+	return st.argmin()
+}
+
+// chooseEpsilon is exploit-phase epsilon-greedy: probability epsilon of
+// picking a uniformly random non-winning arm, else the winner.
+func (st *siteState) chooseEpsilon(cfg *config, rng *splitmix64) int {
+	if n := len(st.arms); n > 1 && rng.float64() < cfg.epsilon {
+		idx := rng.intn(n - 1)
+		if idx >= st.best {
+			idx++ // uniform over the arms that are not the winner
+		}
+		return idx
+	}
+	return st.best
+}
+
+// chooseUCB is exploit-phase UCB1 for costs: every arm's EWMA is
+// discounted by a confidence width proportional to the winner's scale,
+// so rarely-pulled arms are periodically re-tried without any random
+// draw. Unsampled arms (every measurement faulted) are never picked
+// here — they had their chance during the measure phase.
+func (st *siteState) chooseUCB(cfg *config) int {
+	scale := st.arms[st.best].ewma
+	lnN := math.Log(float64(st.pulls))
+	best, bestScore, found := st.best, math.Inf(1), false
+	for i := range st.arms {
+		a := &st.arms[i]
+		if !a.sampled {
+			continue
+		}
+		width := cfg.ucbC * scale * math.Sqrt(2*lnN/float64(a.pulls+1))
+		if score := a.ewma - width; !found || score < bestScore {
+			best, bestScore, found = i, score, true
+		}
+	}
+	return best
+}

@@ -1,0 +1,123 @@
+package autotune
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	cm "socrates/internal/cminor"
+)
+
+// Concurrency stress: one AutoTuner shared by 12 goroutines. Variant
+// materialization, pool checkout, selection, and measurement ingestion
+// must all be race-free (CI runs this under -race), and every routed
+// call must stay bit-exact regardless of which variant the policy
+// picked — arrays and return values are compared against a walker
+// reference on every single call.
+func TestConcurrentTunerStress(t *testing.T) {
+	const n = 8
+	gemm := cm.BenchKernels[0] // gemm; args rebuilt small below for speed
+	if gemm.Name != "gemm" {
+		t.Fatal("corpus order changed; update the test")
+	}
+	mkArgs := func() []any {
+		m := func() *cm.Array {
+			a := cm.NewArray(n, n)
+			for i := range a.Data {
+				a.Data[i] = float64(i%13) * 0.37
+			}
+			return a
+		}
+		return []any{cm.IntV(n), cm.FloatV(1.5), cm.FloatV(0.5), m(), m(), m()}
+	}
+
+	f := cm.MustParse(gemm.File, gemm.Src)
+	// Walker reference: the bit pattern every routed call must produce.
+	refArgs := mkArgs()
+	refVal, err := cm.NewWalker(f).Call(gemm.Fn, refArgs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := refArgs[5].(*cm.Array)
+
+	prog, err := cm.Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := New(prog,
+		WithGrid(WalkerGrid(DefaultGrid())...), // all backends in play
+		WithMinSamples(2),
+		WithEpsilon(0.3), // keep switching variants throughout
+		WithSeed(42),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 12
+	const callsPer = 60
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < callsPer; i++ {
+				args := mkArgs()
+				v, err := tn.Call(gemm.Fn, args...)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if v.IsInt != refVal.IsInt || v.F != refVal.F || v.I != refVal.I {
+					t.Errorf("return value diverged under concurrency")
+					return
+				}
+				got := args[5].(*cm.Array)
+				for k := range ref.Data {
+					if math.Float64bits(got.Data[k]) != math.Float64bits(ref.Data[k]) {
+						t.Errorf("array bit divergence at %d", k)
+						return
+					}
+				}
+			}
+		}()
+	}
+	// A reader goroutine hammers the introspection surface concurrently.
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				tn.Snapshot()
+				tn.Best(gemm.Fn, SizeClass(refArgs))
+				tn.Grid()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	rep := tn.Snapshot()
+	if len(rep) != 1 {
+		t.Fatalf("expected 1 tuning site, got %d", len(rep))
+	}
+	if want := int64(goroutines * callsPer); rep[0].Pulls != want {
+		t.Fatalf("lost pulls under concurrency: %d, want %d", rep[0].Pulls, want)
+	}
+	// Per-arm quotas reset whenever real-clock noise triggers a drift
+	// reopen, so they only bound the total from above.
+	var armPulls int64
+	for _, a := range rep[0].Arms {
+		armPulls += a.Pulls
+	}
+	if want := int64(goroutines * callsPer); armPulls > want || armPulls == 0 {
+		t.Fatalf("per-arm pulls inconsistent: %d of %d total", armPulls, want)
+	}
+}

@@ -1,0 +1,596 @@
+package autotune
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	cm "socrates/internal/cminor"
+)
+
+// Deterministic simulation harness: the tuner's Sampler is replaced by
+// a synthetic cost model (per-variant base cost, bounded deterministic
+// jitter, optional mid-run shifts), so convergence, exploration budgets
+// and drift reactions are asserted exactly — no wall clock, no
+// sleeping, no flakiness. The routed program is a real (tiny) kernel,
+// so every simulated call still exercises the full engine path.
+
+// simSrc is the kernel simulations route through: cheap, stateless,
+// and with an inlinable leaf call so O3 differs structurally from O2.
+const simSrc = `
+double sq(double x) { return x * x; }
+double probe(int n, double a[n]) {
+  int i;
+  double s;
+  s = 0.0;
+  for (i = 0; i < n; i++) {
+    s = s + sq(a[i]);
+  }
+  return s;
+}
+`
+
+func simProgram(t testing.TB, opts ...cm.Option) *cm.Program {
+	t.Helper()
+	prog, err := cm.Compile(cm.MustParse("sim.c", simSrc), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func simArgs(n int) []any {
+	a := cm.NewArray(n)
+	for i := range a.Data {
+		a.Data[i] = float64(i%5) * 0.5
+	}
+	return []any{cm.IntV(int64(n)), a}
+}
+
+// simSampler scores calls from a cost function instead of a clock. The
+// call counter makes jitter and mid-run shifts reproducible.
+type simSampler struct {
+	calls int64
+	cost  func(call int64, spec VariantSpec, class int) time.Duration
+}
+
+func (s *simSampler) Sample(_ string, spec VariantSpec, class int, call func() error) (time.Duration, error) {
+	err := call()
+	s.calls++
+	return s.cost(s.calls, spec, class), err
+}
+
+// jitter is a deterministic ±4% wobble so EWMA smoothing actually has
+// something to smooth.
+func jitter(call int64) float64 {
+	return 1.0 + 0.04*float64(call%5-2)/2.0
+}
+
+// flatCost builds a cost function that depends only on the variant.
+func flatCost(base map[string]time.Duration) func(int64, VariantSpec, int) time.Duration {
+	return func(call int64, spec VariantSpec, _ int) time.Duration {
+		b, ok := base[spec.String()]
+		if !ok {
+			panic("simulated cost missing for variant " + spec.String())
+		}
+		return time.Duration(float64(b) * jitter(call))
+	}
+}
+
+func bestSpec(t *testing.T, tn *AutoTuner, fn string, class int) VariantSpec {
+	t.Helper()
+	spec, ok := tn.Best(fn, class)
+	if !ok {
+		t.Fatalf("site (%s, %d) has not converged", fn, class)
+	}
+	return spec
+}
+
+func siteReport(t *testing.T, tn *AutoTuner, fn string, class int) SiteReport {
+	t.Helper()
+	for _, r := range tn.Snapshot() {
+		if r.Fn == fn && r.Class == class {
+			return r
+		}
+	}
+	t.Fatalf("no site (%s, %d) in snapshot", fn, class)
+	return SiteReport{}
+}
+
+// TestSimulatedConvergence drives ten synthetic cost models — shaped
+// like the BENCH_4 static sweep of the ten corpus kernels, including
+// two where O3 does NOT win (inversions the tuner must respect) — and
+// asserts the tuner converges to the statically-best variant for every
+// one within the bounded exploration budget.
+func TestSimulatedConvergence(t *testing.T) {
+	grid := DefaultGrid()
+	const minSamples = 3
+	const totalCalls = 150
+	budget := len(grid) * minSamples
+
+	cases := []struct {
+		kernel string
+		cost   map[string]time.Duration // per-variant base cost
+		want   string                   // expected winning variant
+	}{
+		{"gemm", map[string]time.Duration{"O0": 3100 * time.Microsecond, "O1": 2100 * time.Microsecond, "O2": 630 * time.Microsecond, "O3": 560 * time.Microsecond}, "O3"},
+		{"jacobi", map[string]time.Duration{"O0": 1900 * time.Microsecond, "O1": 1500 * time.Microsecond, "O2": 380 * time.Microsecond, "O3": 320 * time.Microsecond}, "O3"},
+		{"axpy", map[string]time.Duration{"O0": 290 * time.Microsecond, "O1": 210 * time.Microsecond, "O2": 74 * time.Microsecond, "O3": 70 * time.Microsecond}, "O3"},
+		{"2mm", map[string]time.Duration{"O0": 2600 * time.Microsecond, "O1": 1800 * time.Microsecond, "O2": 520 * time.Microsecond, "O3": 480 * time.Microsecond}, "O3"},
+		{"seidel2d", map[string]time.Duration{"O0": 2400 * time.Microsecond, "O1": 1700 * time.Microsecond, "O2": 800 * time.Microsecond, "O3": 760 * time.Microsecond}, "O3"},
+		{"atax", map[string]time.Duration{"O0": 700 * time.Microsecond, "O1": 500 * time.Microsecond, "O2": 120 * time.Microsecond, "O3": 110 * time.Microsecond}, "O3"},
+		{"mvt", map[string]time.Duration{"O0": 480 * time.Microsecond, "O1": 340 * time.Microsecond, "O2": 80 * time.Microsecond, "O3": 70 * time.Microsecond}, "O3"},
+		{"trisolv", map[string]time.Duration{"O0": 420 * time.Microsecond, "O1": 300 * time.Microsecond, "O2": 90 * time.Microsecond, "O3": 88 * time.Microsecond}, "O3"},
+		// Inversions: small kernels where an O3 pass costs more than it
+		// buys — the tuner must pick O2, not assume more opt is better.
+		{"cholesky", map[string]time.Duration{"O0": 520 * time.Microsecond, "O1": 380 * time.Microsecond, "O2": 96 * time.Microsecond, "O3": 103 * time.Microsecond}, "O2"},
+		{"norms", map[string]time.Duration{"O0": 640 * time.Microsecond, "O1": 460 * time.Microsecond, "O2": 140 * time.Microsecond, "O3": 150 * time.Microsecond}, "O2"},
+	}
+
+	converged := 0
+	for _, tc := range cases {
+		t.Run(tc.kernel, func(t *testing.T) {
+			sampler := &simSampler{cost: flatCost(tc.cost)}
+			tn, err := New(simProgram(t),
+				WithGrid(grid...),
+				WithSampler(sampler),
+				WithMinSamples(minSamples),
+				WithEpsilon(0.1),
+				WithSeed(7),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			args := simArgs(16)
+			class := SizeClass(args)
+			for i := 0; i < totalCalls; i++ {
+				if _, err := tn.Call("probe", args...); err != nil {
+					t.Fatal(err)
+				}
+				// The exploration budget is a hard bound: the moment every
+				// arm met its quota the site must be converged.
+				if i+1 == budget {
+					if _, ok := tn.Best("probe", class); !ok {
+						t.Fatalf("not converged after the %d-call exploration budget", budget)
+					}
+				}
+			}
+			got := bestSpec(t, tn, "probe", class)
+			if got.String() != tc.want {
+				t.Fatalf("converged to %v, statically best is %s", got, tc.want)
+			}
+			rep := siteReport(t, tn, "probe", class)
+			// Residual exploration is bounded: epsilon of the exploit-phase
+			// calls in expectation; allow 2x for the seeded draw.
+			exploit := int64(totalCalls - budget)
+			if maxExplore := int64(0.1*float64(exploit)*2) + 1; rep.ExplorePulls > maxExplore {
+				t.Fatalf("exploration out of budget: %d explore pulls > %d", rep.ExplorePulls, maxExplore)
+			}
+			converged++
+		})
+	}
+	if converged < 8 {
+		t.Fatalf("only %d/10 simulated kernels converged to the static best", converged)
+	}
+}
+
+// TestExplorationBudgetBounds pins the two epsilon extremes: with
+// epsilon 0 a converged site never leaves the winner (non-best arms
+// keep exactly their measure-phase quota); with epsilon 1 every
+// exploit-phase call explores.
+func TestExplorationBudgetBounds(t *testing.T) {
+	grid := DefaultGrid()
+	cost := map[string]time.Duration{
+		"O0": 400 * time.Microsecond, "O1": 300 * time.Microsecond,
+		"O2": 100 * time.Microsecond, "O3": 90 * time.Microsecond,
+	}
+	const minSamples = 2
+	budget := len(grid) * minSamples
+	const total = 80
+
+	run := func(eps float64) SiteReport {
+		tn, err := New(simProgram(t),
+			WithGrid(grid...),
+			WithSampler(&simSampler{cost: flatCost(cost)}),
+			WithMinSamples(minSamples),
+			WithEpsilon(eps),
+			WithSeed(3),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		args := simArgs(16)
+		for i := 0; i < total; i++ {
+			if _, err := tn.Call("probe", args...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return siteReport(t, tn, "probe", SizeClass(args))
+	}
+
+	greedy := run(0)
+	if greedy.ExplorePulls != 0 {
+		t.Fatalf("epsilon=0 explored %d times", greedy.ExplorePulls)
+	}
+	for _, arm := range greedy.Arms {
+		if arm.Spec.String() != "O3" && arm.Pulls != int64(minSamples) {
+			t.Fatalf("epsilon=0: non-best arm %v has %d pulls, want exactly the %d-sample quota",
+				arm.Spec, arm.Pulls, minSamples)
+		}
+	}
+
+	always := run(1)
+	if want := int64(total - budget); always.ExplorePulls != want {
+		t.Fatalf("epsilon=1: %d explore pulls, want every exploit call (%d)", always.ExplorePulls, want)
+	}
+}
+
+// TestDriftReexploration shifts the winning variant's cost mid-run (the
+// paper's adapt-under-load scenario): the drift detector must reopen
+// exploration and the tuner must settle on the new best variant.
+func TestDriftReexploration(t *testing.T) {
+	grid := DefaultGrid()
+	const shiftAt = 60
+	base := map[string]time.Duration{
+		"O0": 500 * time.Microsecond, "O1": 350 * time.Microsecond,
+		"O2": 120 * time.Microsecond, "O3": 80 * time.Microsecond,
+	}
+	sampler := &simSampler{cost: func(call int64, spec VariantSpec, _ int) time.Duration {
+		c := base[spec.String()]
+		if call > shiftAt && spec.String() == "O3" {
+			c *= 5 // the O3 winner degrades (e.g. contention on its working set)
+		}
+		return time.Duration(float64(c) * jitter(call))
+	}}
+	tn, err := New(simProgram(t),
+		WithGrid(grid...),
+		WithSampler(sampler),
+		WithMinSamples(3),
+		WithEpsilon(0.05),
+		WithDriftFactor(0.5),
+		WithSeed(11),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := simArgs(16)
+	class := SizeClass(args)
+	for i := 0; i < shiftAt; i++ {
+		if _, err := tn.Call("probe", args...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := bestSpec(t, tn, "probe", class); got.String() != "O3" {
+		t.Fatalf("pre-shift winner is %v, want O3", got)
+	}
+	for i := 0; i < 140; i++ {
+		if _, err := tn.Call("probe", args...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := siteReport(t, tn, "probe", class)
+	if rep.Reopens < 1 {
+		t.Fatalf("winner cost shifted 5x but the site never re-opened exploration")
+	}
+	if got := bestSpec(t, tn, "probe", class); got.String() != "O2" {
+		t.Fatalf("post-shift winner is %v, want O2", got)
+	}
+}
+
+// TestUCB1Convergence runs the deterministic policy: no random draws
+// at all, so two identical runs must produce identical decision
+// sequences — and still converge to the static best.
+func TestUCB1Convergence(t *testing.T) {
+	grid := DefaultGrid()
+	cost := map[string]time.Duration{
+		"O0": 900 * time.Microsecond, "O1": 500 * time.Microsecond,
+		"O2": 200 * time.Microsecond, "O3": 140 * time.Microsecond,
+	}
+	run := func() []SiteReport {
+		tn, err := New(simProgram(t),
+			WithGrid(grid...),
+			WithSampler(&simSampler{cost: flatCost(cost)}),
+			WithPolicy(UCB1),
+			WithMinSamples(2),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		args := simArgs(16)
+		for i := 0; i < 120; i++ {
+			if _, err := tn.Call("probe", args...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := bestSpec(t, tn, "probe", SizeClass(args)); got.String() != "O3" {
+			t.Fatalf("UCB1 converged to %v, want O3", got)
+		}
+		return tn.Snapshot()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("UCB1 runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestPerClassSelection gives small and large inputs opposite winners;
+// the tuner must keep one independent site per input-size class and
+// converge each to its own best variant.
+func TestPerClassSelection(t *testing.T) {
+	grid := DefaultGrid()
+	small, large := simArgs(8), simArgs(1024)
+	smallClass, largeClass := SizeClass(small), SizeClass(large)
+	if smallClass == largeClass {
+		t.Fatalf("classifier folded 8 and 1024 elements into one class %d", smallClass)
+	}
+	sampler := &simSampler{cost: func(call int64, spec VariantSpec, class int) time.Duration {
+		// Small inputs: compile-time cleverness doesn't pay (O1 wins).
+		// Large inputs: O3 wins big.
+		base := map[string]time.Duration{
+			"O0": 40 * time.Microsecond, "O1": 20 * time.Microsecond,
+			"O2": 30 * time.Microsecond, "O3": 35 * time.Microsecond,
+		}
+		if class == largeClass {
+			base = map[string]time.Duration{
+				"O0": 4000 * time.Microsecond, "O1": 2500 * time.Microsecond,
+				"O2": 900 * time.Microsecond, "O3": 600 * time.Microsecond,
+			}
+		}
+		return time.Duration(float64(base[spec.String()]) * jitter(call))
+	}}
+	tn, err := New(simProgram(t),
+		WithGrid(grid...),
+		WithSampler(sampler),
+		WithMinSamples(2),
+		WithEpsilon(0.05),
+		WithSeed(5),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 120; i++ {
+		if _, err := tn.Call("probe", small...); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tn.Call("probe", large...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := bestSpec(t, tn, "probe", smallClass); got.String() != "O1" {
+		t.Fatalf("small-input site converged to %v, want O1", got)
+	}
+	if got := bestSpec(t, tn, "probe", largeClass); got.String() != "O3" {
+		t.Fatalf("large-input site converged to %v, want O3", got)
+	}
+}
+
+// TestLazyMaterialization pins the grid's laziness: New lowers nothing,
+// each variant materializes only when first selected.
+func TestLazyMaterialization(t *testing.T) {
+	tn, err := New(simProgram(t), WithMinSamples(1),
+		WithSampler(&simSampler{cost: flatCost(map[string]time.Duration{
+			"O0": 4, "O1": 3, "O2": 2, "O3": 1,
+		})}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, slot := range tn.slots {
+		if slot.prog != nil {
+			t.Fatalf("variant %d materialized before any call", i)
+		}
+	}
+	args := simArgs(8)
+	if _, err := tn.Call("probe", args...); err != nil {
+		t.Fatal(err)
+	}
+	materialized := 0
+	for _, slot := range tn.slots {
+		if slot.prog != nil {
+			materialized++
+		}
+	}
+	if materialized != 1 {
+		t.Fatalf("one call materialized %d variants, want exactly 1", materialized)
+	}
+	for i := 0; i < len(tn.cfg.grid)-1; i++ {
+		if _, err := tn.Call("probe", args...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, slot := range tn.slots {
+		if slot.prog == nil {
+			t.Fatalf("variant %d not materialized after a full measure round", i)
+		}
+	}
+}
+
+// TestPooledBudgetNotLeaked is the SetMaxSteps/pool interaction pin:
+// with a per-call budget that any single call fits but two calls'
+// accumulated steps would blow, hundreds of pooled calls must all
+// succeed — proving the pool restores the budget per checkout instead
+// of leaking spent steps across the tuner's pool.
+func TestPooledBudgetNotLeaked(t *testing.T) {
+	args := simArgs(64)
+	// One probe(64) call costs a few hundred statements; 2000 covers one
+	// call comfortably and is far below 300 calls' accumulation.
+	prog := simProgram(t, cm.WithMaxSteps(2000))
+	tn, err := New(prog, WithMinSamples(2), WithEpsilon(0.2),
+		WithSampler(&simSampler{cost: flatCost(map[string]time.Duration{
+			"O0": 4, "O1": 3, "O2": 2, "O3": 1,
+		})}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if _, err := tn.Call("probe", args...); err != nil {
+			t.Fatalf("call %d: budget leaked across the pool: %v", i, err)
+		}
+	}
+	// The budget itself still bites: a kernel that overruns it in ONE
+	// call faults on every variant, and the tuner surfaces the fault.
+	tight := simProgram(t, cm.WithMaxSteps(10))
+	tn2, err := New(tight, WithMinSamples(1),
+		WithSampler(&simSampler{cost: flatCost(map[string]time.Duration{
+			"O0": 4, "O1": 3, "O2": 2, "O3": 1,
+		})}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := tn2.Call("probe", args...); err == nil {
+			t.Fatalf("call %d: 10-step budget did not fault", i)
+		}
+	}
+}
+
+// TestFaultingCallsDontPoisonEstimates: a runtime fault counts its
+// pull but contributes no cost, a site whose every call faulted never
+// declares a winner, and unknown function names are rejected before
+// any tuning state exists.
+func TestFaultingCallsDontPoisonEstimates(t *testing.T) {
+	tn, err := New(simProgram(t), WithMinSamples(1),
+		WithSampler(&simSampler{cost: flatCost(map[string]time.Duration{
+			"O0": 4, "O1": 3, "O2": 2, "O3": 1,
+		})}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unknown names never create a site.
+	if _, err := tn.Call("no_such_fn"); err == nil {
+		t.Fatal("calling a missing function did not error")
+	}
+	if got := len(tn.Snapshot()); got != 0 {
+		t.Fatalf("a rejected name created %d tuning sites", got)
+	}
+	// A known function faulting at runtime (out-of-bounds subscript:
+	// n says 64, the array holds 8) counts pulls but samples nothing.
+	bad := []any{cm.IntV(64), cm.NewArray(8)}
+	class := SizeClass(bad)
+	for i := 0; i < 6; i++ {
+		if _, err := tn.Call("probe", bad...); err == nil {
+			t.Fatal("out-of-bounds call did not error")
+		}
+	}
+	rep := siteReport(t, tn, "probe", class)
+	if rep.Pulls != 6 {
+		t.Fatalf("faulting calls recorded %d pulls, want 6", rep.Pulls)
+	}
+	for _, arm := range rep.Arms {
+		if arm.Sampled {
+			t.Fatalf("arm %v has a cost estimate from faulting calls", arm.Spec)
+		}
+	}
+	// Quota met, but nothing measured: the site must not converge.
+	if rep.Converged {
+		t.Fatal("site converged without a single successful measurement")
+	}
+	if _, ok := tn.Best("probe", class); ok {
+		t.Fatal("Best reported a winner that was never measured")
+	}
+}
+
+// TestNewValidation: malformed configurations and grids fail fast at
+// New, with the engine's own diagnostics for bad knob values.
+func TestNewValidation(t *testing.T) {
+	prog := simProgram(t)
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"empty grid", []Option{WithGrid()}},
+		{"bad epsilon", []Option{WithEpsilon(1.5)}},
+		{"bad alpha", []Option{WithEWMAAlpha(0)}},
+		{"bad min samples", []Option{WithMinSamples(0)}},
+		{"bad drift", []Option{WithDriftFactor(0)}},
+		{"unknown opt level", []Option{WithGrid(VariantSpec{Opt: cm.O3 + 1})}},
+		{"unknown pass bits", []Option{WithGrid(VariantSpec{Opt: cm.O3, Passes: 0x80})}},
+	}
+	for _, tc := range cases {
+		if _, err := New(prog, tc.opts...); err == nil {
+			t.Errorf("%s: New accepted it", tc.name)
+		}
+	}
+	if _, err := New(prog, WithGrid(FineGrid()...)); err != nil {
+		t.Errorf("FineGrid rejected: %v", err)
+	}
+	if _, err := New(prog, WithGrid(WalkerGrid(DefaultGrid())...)); err != nil {
+		t.Errorf("WalkerGrid rejected: %v", err)
+	}
+}
+
+// TestClockSamplerDeterministic pins the default measurement path
+// against a fake clock: cost == the clock movement during the call.
+func TestClockSamplerDeterministic(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	s := clockSampler{clock: clk}
+	d, err := s.Sample("f", VariantSpec{}, 0, func() error {
+		clk.advance(5 * time.Millisecond)
+		return nil
+	})
+	if err != nil || d != 5*time.Millisecond {
+		t.Fatalf("got (%v, %v), want (5ms, nil)", d, err)
+	}
+	wantErr := errors.New("boom")
+	d, err = s.Sample("f", VariantSpec{}, 0, func() error {
+		clk.advance(time.Millisecond)
+		return wantErr
+	})
+	if err != wantErr || d != time.Millisecond {
+		t.Fatalf("got (%v, %v), want (1ms, boom)", d, err)
+	}
+}
+
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// TestSizeClass pins the default classifier's buckets.
+func TestSizeClass(t *testing.T) {
+	if got := SizeClass([]any{cm.IntV(3)}); got != 0 {
+		t.Fatalf("scalar-only class = %d, want 0", got)
+	}
+	cases := []struct {
+		elems []int
+		want  int
+	}{
+		{[]int{1}, 1},
+		{[]int{8}, 4},
+		{[]int{8, 8}, 5},
+		{[]int{1024}, 11},
+	}
+	for _, tc := range cases {
+		args := []any{cm.IntV(1)}
+		for _, n := range tc.elems {
+			args = append(args, cm.NewArray(n))
+		}
+		if got := SizeClass(args); got != tc.want {
+			t.Fatalf("SizeClass(%v elems) = %d, want %d", tc.elems, got, tc.want)
+		}
+	}
+}
+
+// TestVariantSpecString pins the names benchmark output uses.
+func TestVariantSpecString(t *testing.T) {
+	cases := []struct {
+		spec VariantSpec
+		want string
+	}{
+		{VariantSpec{}, "O0"},
+		{VariantSpec{Opt: cm.O2}, "O2"},
+		{VariantSpec{Opt: cm.O3, Passes: cm.AllPasses}, "O3"},
+		{VariantSpec{Opt: cm.O3, Passes: cm.PassInline | cm.PassBCE}, "O3[inline+bce]"},
+		{VariantSpec{Opt: cm.O3}, "O3[none]"},
+		{VariantSpec{Backend: cm.BackendWalker}, "walker"},
+	}
+	for _, tc := range cases {
+		if got := tc.spec.String(); got != tc.want {
+			t.Fatalf("%#v.String() = %q, want %q", tc.spec, got, tc.want)
+		}
+	}
+	if got := fmt.Sprint(UCB1, " ", EpsilonGreedy); got != "ucb1 epsilon-greedy" {
+		t.Fatalf("policy names = %q", got)
+	}
+}

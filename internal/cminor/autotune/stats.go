@@ -1,0 +1,220 @@
+package autotune
+
+import "time"
+
+// Per-(function, input-class) selection state. Each call site the
+// tuner has seen owns one siteState with one armStats per grid point;
+// everything here is mutated only under the tuner mutex.
+
+// Site phases: measure pulls every arm a fixed number of times
+// (round-robin, the bounded exploration budget), exploit routes to the
+// best arm with policy-controlled residual exploration. A drift
+// detection re-enters measure.
+const (
+	phaseMeasure uint8 = iota
+	phaseExploit
+)
+
+// switchHysteresis: mid-exploit, a challenger arm must undercut the
+// incumbent's EWMA by this relative margin before the site adopts it.
+// It guards against two failure modes observed live. (1) Ping-pong:
+// two near-equal arms alternating call-to-call thrash the branch
+// predictor and instruction cache, inflating BOTH arms' measurements
+// (a 57µs variant's EWMA was driven to ~480µs by pure alternation),
+// so the argmin keeps flipping forever; sticking with the incumbent
+// lets back-to-back runs re-measure the true cost. (2) Stale-estimate
+// dethroning: a burst of clipped spikes nudges the winner's EWMA up a
+// few tens of percent, and a challenger whose optimistic (min-based,
+// long-unsampled) measure-phase estimate sits just below it takes
+// over for thousands of calls. The margin is deliberately generous: a
+// genuinely better challenger by more than this margin is rare within
+// one workload, and a winner that truly degrades is caught by the
+// drift detector, which re-measures every arm freshly. Measure-phase
+// convergence itself is a plain argmin — hysteresis only guards
+// switches after a winner exists.
+const switchHysteresis = 0.25
+
+// clipFactor winsorizes exploit-phase samples: each measurement folds
+// into the EWMA capped at clipFactor× the current estimate. Cost
+// distributions on a shared box are heavy-tailed — a single 2ms GC
+// pause or preemption on a 60µs kernel would otherwise catapult the
+// winner's EWMA 4× in one sample and dethrone the true winner for
+// thousands of calls (observed live). A genuine sustained shift still
+// raises the estimate geometrically (clipFactor× per sample), so the
+// drift detector fires within a handful of samples.
+const clipFactor = 3.0
+
+// armStats is the cost estimate of one variant at one site.
+type armStats struct {
+	pulls   int64   // selections, counted at decision time
+	sampled bool    // at least one successful measurement recorded
+	ewma    float64 // nanoseconds, exponentially weighted
+}
+
+// update folds one cost measurement into the estimate. The first
+// quota samples (the measure phase) estimate by the minimum observed
+// cost rather than a blend: a variant's first execution pays one-time
+// costs (faulting in the freshly lowered closure graph), and busy
+// boxes add heavy-tailed scheduling spikes — for a deterministic
+// kernel the minimum is the robust location estimate. Once the arm is
+// past its quota the EWMA takes over, so genuine workload shifts
+// still move the estimate (and can trip the drift detector).
+func (a *armStats) update(alpha float64, quota int64, cost float64) {
+	switch {
+	case !a.sampled:
+		a.ewma, a.sampled = cost, true
+	case a.pulls <= quota:
+		if cost < a.ewma {
+			a.ewma = cost
+		}
+	default:
+		if lim := a.ewma * clipFactor; cost > lim {
+			cost = lim // winsorize heavy-tailed spikes (see clipFactor)
+		}
+		a.ewma = alpha*cost + (1-alpha)*a.ewma
+	}
+}
+
+type siteState struct {
+	arms   []armStats
+	phase  uint8
+	cursor int // round-robin position while measuring
+	// best is the current winner (argmin EWMA over sampled arms);
+	// baseline freezes its EWMA when the site converges (or re-anchors
+	// on a winner change), and the drift detector compares against it.
+	best     int
+	baseline float64
+	pulls    int64 // total selections at this site
+	explore  int64 // exploit-phase selections that were NOT the winner
+	reopens  int   // drift-triggered re-explorations
+}
+
+func newSiteState(arms int) *siteState {
+	return &siteState{arms: make([]armStats, arms)}
+}
+
+// allMeasured reports whether every arm has met the measure-phase pull
+// quota.
+func (st *siteState) allMeasured(minSamples int64) bool {
+	for i := range st.arms {
+		if st.arms[i].pulls < minSamples {
+			return false
+		}
+	}
+	return true
+}
+
+// anySampled reports whether any arm has a successful measurement.
+func (st *siteState) anySampled() bool {
+	for i := range st.arms {
+		if st.arms[i].sampled {
+			return true
+		}
+	}
+	return false
+}
+
+// argmin returns the sampled arm with the lowest EWMA (ties to the
+// lower index — the less optimized variant). Arms that never produced
+// a successful measurement are skipped; with none sampled it returns 0.
+func (st *siteState) argmin() int {
+	best, found := 0, false
+	for i := range st.arms {
+		if !st.arms[i].sampled {
+			continue
+		}
+		if !found || st.arms[i].ewma < st.arms[best].ewma {
+			best, found = i, true
+		}
+	}
+	return best
+}
+
+// observe ingests one measurement for arm idx (ok=false when the call
+// faulted: the pull still counts, the cost does not) and advances the
+// site's phase machine: measure → exploit on quota, exploit → measure
+// when the winner's cost drifts past the tolerance band.
+func (st *siteState) observe(cfg *config, idx int, cost float64, ok bool) {
+	if ok {
+		st.arms[idx].update(cfg.alpha, int64(cfg.minSamples), cost)
+	}
+	switch st.phase {
+	case phaseMeasure:
+		// Converging requires at least one successful measurement: a
+		// site whose every call faulted must not declare a winner it
+		// never timed (quota pulls alone don't qualify).
+		if st.allMeasured(int64(cfg.minSamples)) && st.anySampled() {
+			st.phase = phaseExploit
+			st.best = st.argmin()
+			st.baseline = st.arms[st.best].ewma
+		}
+	case phaseExploit:
+		// Drift: the winning variant's own observed cost DEGRADED past
+		// baseline*(1+drift) — the workload shifted under it, so the old
+		// measurements of every arm are suspect. Reopen exploration
+		// (estimates and quotas reset). The winner getting
+		// FASTER is not drift — it is still the winner; the baseline
+		// tightens to the improved cost instead, both so degradation is
+		// judged against the best cost seen and because measure-phase
+		// estimates run systematically high (arm switching thrashes the
+		// predictor/icache) and always melt once the winner runs
+		// back-to-back.
+		if ok && idx == st.best && st.baseline > 0 {
+			ew := st.arms[idx].ewma
+			if ew > st.baseline*(1+cfg.drift) {
+				st.reopen()
+				return
+			}
+			if ew < st.baseline {
+				st.baseline = ew
+			}
+		}
+		// Residual exploration may discover a new winner without any
+		// drift (e.g. an arm that was unlucky during measurement);
+		// adopt it — and re-anchor the baseline — only when it clears
+		// the hysteresis margin (see switchHysteresis).
+		if nb := st.argmin(); nb != st.best &&
+			st.arms[nb].ewma < st.arms[st.best].ewma*(1-switchHysteresis) {
+			st.best = nb
+			st.baseline = st.arms[nb].ewma
+		}
+	}
+}
+
+// reopen re-enters the measure phase after drift: the workload moved,
+// so every stale estimate is suspect — arms restart from scratch and
+// re-earn their quotas.
+func (st *siteState) reopen() {
+	st.phase = phaseMeasure
+	st.cursor = 0
+	for i := range st.arms {
+		st.arms[i] = armStats{}
+	}
+	st.reopens++
+}
+
+// durationOf converts a float64-nanosecond EWMA into a Duration for
+// reporting.
+func durationOf(ns float64) time.Duration { return time.Duration(ns) }
+
+// ArmReport is one variant's state in a Snapshot.
+type ArmReport struct {
+	Spec    VariantSpec
+	Pulls   int64
+	EWMA    time.Duration
+	Sampled bool
+}
+
+// SiteReport is the introspectable state of one (function, class)
+// tuning site: which variant is winning, how much exploration it cost,
+// and how often drift forced a re-exploration.
+type SiteReport struct {
+	Fn           string
+	Class        int
+	Converged    bool // exploit phase reached (and not currently reopened)
+	Best         VariantSpec
+	Pulls        int64
+	ExplorePulls int64
+	Reopens      int
+	Arms         []ArmReport
+}

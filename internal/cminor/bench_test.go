@@ -8,192 +8,10 @@ import "testing"
 //
 //	go test ./internal/cminor -bench . -benchmem
 //
-// The step budget is lifted so long benchmark runs never trip the
-// runaway guard.
-
-const benchGemmSrc = `
-void gemm(int n, double alpha, double beta, double A[n][n], double B[n][n], double C[n][n]) {
-  int i, j, k;
-  for (i = 0; i < n; i++) {
-    for (j = 0; j < n; j++) {
-      C[i][j] = C[i][j] * beta;
-      for (k = 0; k < n; k++) {
-        C[i][j] += alpha * A[i][k] * B[k][j];
-      }
-    }
-  }
-}
-`
-
-const benchJacobiSrc = `
-void jacobi(int n, int steps, double A[n][n], double B[n][n]) {
-  int t, i, j;
-  for (t = 0; t < steps; t++) {
-    for (i = 1; i < n - 1; i++) {
-      for (j = 1; j < n - 1; j++) {
-        B[i][j] = 0.2 * (A[i][j] + A[i][j - 1] + A[i][j + 1] + A[i - 1][j] + A[i + 1][j]);
-      }
-    }
-    for (i = 1; i < n - 1; i++) {
-      for (j = 1; j < n - 1; j++) {
-        A[i][j] = B[i][j];
-      }
-    }
-  }
-}
-`
-
-const benchAxpySrc = `
-void axpy(int n, double alpha, double x[n], double y[n]) {
-  int i;
-  for (i = 0; i < n; i++) {
-    y[i] = y[i] + alpha * x[i];
-  }
-}
-`
-
-const bench2mmSrc = `
-void mm2(int ni, int nj, int nk, int nl, double alpha, double beta,
-         double tmp[ni][nj], double A[ni][nk], double B[nk][nj],
-         double C[nj][nl], double D[ni][nl]) {
-  int i, j, k;
-  for (i = 0; i < ni; i++) {
-    for (j = 0; j < nj; j++) {
-      tmp[i][j] = 0.0;
-      for (k = 0; k < nk; k++) {
-        tmp[i][j] += alpha * A[i][k] * B[k][j];
-      }
-    }
-  }
-  for (i = 0; i < ni; i++) {
-    for (j = 0; j < nl; j++) {
-      D[i][j] *= beta;
-      for (k = 0; k < nj; k++) {
-        D[i][j] += tmp[i][k] * C[k][j];
-      }
-    }
-  }
-}
-`
-
-const benchSeidelSrc = `
-void seidel2d(int tsteps, int n, double A[n][n]) {
-  int t, i, j;
-  for (t = 0; t < tsteps; t++) {
-    for (i = 1; i < n - 1; i++) {
-      for (j = 1; j < n - 1; j++) {
-        A[i][j] = (A[i - 1][j - 1] + A[i - 1][j] + A[i - 1][j + 1]
-                 + A[i][j - 1] + A[i][j] + A[i][j + 1]
-                 + A[i + 1][j - 1] + A[i + 1][j] + A[i + 1][j + 1]) / 9.0;
-      }
-    }
-  }
-}
-`
-
-const benchAtaxSrc = `
-void atax(int m, int n, double A[m][n], double x[n], double y[n], double tmp[m]) {
-  int i, j;
-  for (i = 0; i < n; i++) {
-    y[i] = 0.0;
-  }
-  for (i = 0; i < m; i++) {
-    tmp[i] = 0.0;
-    for (j = 0; j < n; j++) {
-      tmp[i] = tmp[i] + A[i][j] * x[j];
-    }
-    for (j = 0; j < n; j++) {
-      y[j] = y[j] + A[i][j] * tmp[i];
-    }
-  }
-}
-`
-
-// mvt, trisolv and cholesky extend the suite with triangular loops and
-// diagonal accesses — the shapes the O3 range analysis is built for.
-
-const benchMvtSrc = `
-void mvt(int n, double x1[n], double x2[n], double y1[n], double y2[n], double A[n][n]) {
-  int i, j;
-  for (i = 0; i < n; i++) {
-    for (j = 0; j < n; j++) {
-      x1[i] = x1[i] + A[i][j] * y1[j];
-    }
-  }
-  for (i = 0; i < n; i++) {
-    for (j = 0; j < n; j++) {
-      x2[i] = x2[i] + A[j][i] * y2[j];
-    }
-  }
-}
-`
-
-const benchTrisolvSrc = `
-void trisolv(int n, double L[n][n], double x[n], double b[n]) {
-  int i, j;
-  for (i = 0; i < n; i++) {
-    x[i] = b[i];
-    for (j = 0; j < i; j++) {
-      x[i] = x[i] - L[i][j] * x[j];
-    }
-    x[i] = x[i] / L[i][i];
-  }
-}
-`
-
-const benchCholeskySrc = `
-void cholesky(int n, double A[n][n]) {
-  int i, j, k;
-  for (i = 0; i < n; i++) {
-    for (j = 0; j < i; j++) {
-      for (k = 0; k < j; k++) {
-        A[i][j] -= A[i][k] * A[j][k];
-      }
-      A[i][j] /= A[j][j];
-    }
-    for (k = 0; k < i; k++) {
-      A[i][i] -= A[i][k] * A[i][k];
-    }
-    A[i][i] = sqrt(A[i][i]);
-  }
-}
-`
-
-// benchNormsSrc exercises the O3 inliner: the inner loop's only call is
-// a tiny leaf, which blocks every loop optimization below O3.
-const benchNormsSrc = `
-double sq(double x) { return x * x; }
-void norms(int n, double A[n][n], double out[n]) {
-  int i, j;
-  for (i = 0; i < n; i++) {
-    out[i] = 0.0;
-    for (j = 0; j < n; j++) {
-      out[i] = out[i] + sq(A[i][j]);
-    }
-  }
-}
-`
-
-func benchMatrix(n int) *Array {
-	a := NewArray(n, n)
-	for i := range a.Data {
-		a.Data[i] = float64(i%13) * 0.37
-	}
-	return a
-}
-
-func benchVector(n int) *Array {
-	a := NewArray(n)
-	for i := range a.Data {
-		a.Data[i] = float64(i%7) * 1.1
-	}
-	return a
-}
-
-func benchGemmArgs(n int) []any {
-	return []any{IntV(int64(n)), FloatV(1.5), FloatV(0.5),
-		benchMatrix(n), benchMatrix(n), benchMatrix(n)}
-}
+// The kernel sources and canonical argument builders live in
+// kernels.go (BenchKernels) so the autotuning layer's benchmarks can
+// sweep the same corpus. The step budget is lifted so long benchmark
+// runs never trip the runaway guard.
 
 func BenchmarkGemmWalker(b *testing.B) {
 	const n = 32
@@ -219,10 +37,6 @@ func BenchmarkGemmCompiled(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-}
-
-func benchJacobiArgs(n int) []any {
-	return []any{IntV(int64(n)), IntV(4), benchMatrix(n), benchMatrix(n)}
 }
 
 func BenchmarkJacobiWalker(b *testing.B) {
@@ -277,12 +91,6 @@ func BenchmarkAxpyCompiled(b *testing.B) {
 	}
 }
 
-func bench2mmArgs(n int) []any {
-	return []any{IntV(int64(n)), IntV(int64(n)), IntV(int64(n)), IntV(int64(n)),
-		FloatV(1.5), FloatV(0.5),
-		benchMatrix(n), benchMatrix(n), benchMatrix(n), benchMatrix(n), benchMatrix(n)}
-}
-
 func Benchmark2mmWalker(b *testing.B) {
 	const n = 24
 	w := NewWalker(MustParse("2mm.c", bench2mmSrc))
@@ -307,10 +115,6 @@ func Benchmark2mmCompiled(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-}
-
-func benchSeidelArgs(n int) []any {
-	return []any{IntV(4), IntV(int64(n)), benchMatrix(n)}
 }
 
 func BenchmarkSeidel2dWalker(b *testing.B) {
@@ -339,11 +143,6 @@ func BenchmarkSeidel2dCompiled(b *testing.B) {
 	}
 }
 
-func benchAtaxArgs(n int) []any {
-	return []any{IntV(int64(n)), IntV(int64(n)), benchMatrix(n),
-		benchVector(n), benchVector(n), benchVector(n)}
-}
-
 func BenchmarkAtaxWalker(b *testing.B) {
 	const n = 48
 	w := NewWalker(MustParse("atax.c", benchAtaxSrc))
@@ -370,68 +169,13 @@ func BenchmarkAtaxCompiled(b *testing.B) {
 	}
 }
 
-func benchMvtArgs(n int) []any {
-	return []any{IntV(int64(n)), benchVector(n), benchVector(n), benchVector(n),
-		benchVector(n), benchMatrix(n)}
-}
-
-func benchTrisolvArgs(n int) []any {
-	L := NewArray(n, n)
-	for i := 0; i < n; i++ {
-		for j := 0; j <= i; j++ {
-			L.Set(float64(i+j)/float64(n)+1.0, i, j)
-		}
-	}
-	return []any{IntV(int64(n)), L, NewArray(n), benchVector(n)}
-}
-
-func benchCholeskyArgs(n int) []any {
-	A := NewArray(n, n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			v := 0.01 * float64((i*j)%13)
-			if i == j {
-				v = float64(n) + 2.0 // diagonally dominant
-			}
-			A.Set(v, i, j)
-		}
-	}
-	return []any{IntV(int64(n)), A}
-}
-
-func benchNormsArgs(n int) []any {
-	return []any{IntV(int64(n)), benchMatrix(n), benchVector(n)}
-}
-
-// benchSweep is the kernel matrix `make bench` records per opt level —
-// the per-variant data the autotuning layer will select on.
-var benchSweep = []struct {
-	name string
-	src  string
-	file string
-	fn   string
-	args func() []any
-}{
-	{"gemm", benchGemmSrc, "gemm.c", "gemm", func() []any { return benchGemmArgs(32) }},
-	{"jacobi", benchJacobiSrc, "jacobi.c", "jacobi", func() []any { return benchJacobiArgs(48) }},
-	{"axpy", benchAxpySrc, "axpy.c", "axpy", func() []any {
-		return []any{IntV(4096), FloatV(2.0), benchVector(4096), benchVector(4096)}
-	}},
-	{"2mm", bench2mmSrc, "2mm.c", "mm2", func() []any { return bench2mmArgs(24) }},
-	{"seidel2d", benchSeidelSrc, "seidel.c", "seidel2d", func() []any { return benchSeidelArgs(48) }},
-	{"atax", benchAtaxSrc, "atax.c", "atax", func() []any { return benchAtaxArgs(48) }},
-	{"mvt", benchMvtSrc, "mvt.c", "mvt", func() []any { return benchMvtArgs(48) }},
-	{"trisolv", benchTrisolvSrc, "trisolv.c", "trisolv", func() []any { return benchTrisolvArgs(64) }},
-	{"cholesky", benchCholeskySrc, "cholesky.c", "cholesky", func() []any { return benchCholeskyArgs(32) }},
-	{"norms", benchNormsSrc, "norms.c", "norms", func() []any { return benchNormsArgs(48) }},
-}
-
-// BenchmarkOptLevels sweeps every kernel across O0–O3 so BENCH_<n>.json
-// carries one record per (kernel, variant) — the design-space sample
-// SOCRATES' design-time exploration assumes.
+// BenchmarkOptLevels sweeps every corpus kernel across O0–O3 so
+// BENCH_<n>.json carries one record per (kernel, variant) — the
+// design-space sample SOCRATES' design-time exploration assumes, and
+// the static baseline the autotuner's online selection starts from.
 func BenchmarkOptLevels(b *testing.B) {
-	for _, k := range benchSweep {
-		prog, err := Compile(MustParse(k.file, k.src), WithMaxSteps(1<<62))
+	for _, k := range BenchKernels {
+		prog, err := Compile(MustParse(k.File, k.Src), WithMaxSteps(1<<62))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -440,13 +184,13 @@ func BenchmarkOptLevels(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			b.Run(k.name+"/"+lvl.String(), func(b *testing.B) {
+			b.Run(k.Name+"/"+lvl.String(), func(b *testing.B) {
 				inst := vp.NewInstance()
-				args := k.args()
+				args := k.Args()
 				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := inst.Call(k.fn, args...); err != nil {
+					if _, err := inst.Call(k.Fn, args...); err != nil {
 						b.Fatal(err)
 					}
 				}

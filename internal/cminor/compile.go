@@ -121,8 +121,10 @@ type compiler struct {
 	types *fnTypes
 	info  *typeInfo
 	// opt gates the loop optimizer (O2 only); the generic body always
-	// compiles as if O0.
-	opt OptLevel
+	// compiles as if O0. passes refines which O3 passes run (see
+	// passOn); it is only consulted when opt >= O3.
+	opt    OptLevel
+	passes PassMask
 	// numHoist counts strength-reduction slots handed out in this body.
 	numHoist int
 	// loops is the stack of active counted-loop contexts; elemFn
@@ -135,6 +137,13 @@ type compiler struct {
 	plan  *inlinePlan
 	remap *inlineSite
 }
+
+// passOn reports whether one of the O3 passes is active in this
+// lowering: the opt level must reach O3 AND the variant's pass mask
+// must enable it. This is what makes the knob grid finer than the four
+// -O points — an autotuner can toggle inlining, bounds-check
+// elimination and unrolling independently.
+func (c *compiler) passOn(m PassMask) bool { return c.opt >= O3 && c.passes&m != 0 }
 
 // refOf reads an identifier's resolved slot from the side table,
 // relocated into the caller's frame when an inlined body is active.

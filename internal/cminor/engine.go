@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 )
 
@@ -80,15 +81,58 @@ const (
 // String renders the level in -O spelling.
 func (l OptLevel) String() string { return fmt.Sprintf("O%d", uint8(l)) }
 
+// PassMask gates the individual O3 passes, refining the opt-level axis
+// into a finer knob grid: a variant at O3 may enable any subset of the
+// passes, so an autotuning layer can explore 2^3 grid points between O2
+// and full O3 instead of a single one. Below O3 the mask is inert.
+type PassMask uint8
+
+// The O3 passes. Each is independently gate-able; O3 with all bits
+// cleared behaves exactly like O2.
+const (
+	// PassInline splices small leaf callees into their callers
+	// (inline.go), which also unlocks the loop fast paths for bodies
+	// whose only calls were inlined.
+	PassInline PassMask = 1 << iota
+	// PassBCE is value-range bounds-check elimination (rangeanal.go).
+	PassBCE
+	// PassUnroll is 4-wide store-loop/reduction unrolling (loopopt.go).
+	PassUnroll
+
+	// AllPasses enables every O3 pass (the default).
+	AllPasses PassMask = PassInline | PassBCE | PassUnroll
+)
+
+// String names the enabled passes ("inline+bce+unroll", "none").
+func (m PassMask) String() string {
+	if m == 0 {
+		return "none"
+	}
+	s := ""
+	add := func(on PassMask, name string) {
+		if m&on != 0 {
+			if s != "" {
+				s += "+"
+			}
+			s += name
+		}
+	}
+	add(PassInline, "inline")
+	add(PassBCE, "bce")
+	add(PassUnroll, "unroll")
+	return s
+}
+
 // config is the resolved option set of one Program variant.
 type config struct {
 	backend  Backend
 	opt      OptLevel
+	passes   PassMask
 	maxSteps int
 }
 
 func defaultConfig() config {
-	return config{backend: BackendCompiled, opt: O2, maxSteps: DefaultMaxSteps}
+	return config{backend: BackendCompiled, opt: O2, passes: AllPasses, maxSteps: DefaultMaxSteps}
 }
 
 // Option configures Compile and Program.Variant.
@@ -104,11 +148,22 @@ func WithOptLevel(l OptLevel) Option {
 	return func(c *config) { c.opt = l }
 }
 
+// WithPasses selects which O3 passes a variant enables; it has no
+// effect below O3. Unknown bits are rejected with a diagnostic by
+// Compile and Program.Variant, like an unknown opt level.
+func WithPasses(m PassMask) Option {
+	return func(c *config) { c.passes = m }
+}
+
 // validate rejects option combinations the engine cannot honour.
 func (c config) validate(file string) error {
 	if c.opt > maxOptLevel {
 		return diagf(file, Pos{}, "unknown optimization level O%d (supported: O0–O%d)",
 			uint8(c.opt), uint8(maxOptLevel))
+	}
+	if bad := c.passes &^ AllPasses; bad != 0 {
+		return diagf(file, Pos{}, "unknown O3 pass bits 0x%x (supported: 0x%x)",
+			uint8(bad), uint8(AllPasses))
 	}
 	return nil
 }
@@ -174,11 +229,35 @@ func (p *Program) Variant(opts ...Option) (*Program, error) {
 	return lower(p.fname, p.res, p.ti, cfg), nil
 }
 
+// CheckOptions validates an option set against p without lowering a
+// variant: the same diagnostics Variant would return, at none of the
+// cost. Selection layers with large knob grids use it to fail fast on
+// a malformed grid while still materializing variants lazily.
+func (p *Program) CheckOptions(opts ...Option) error {
+	cfg := p.cfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg.validate(p.fname)
+}
+
+// HasFunc reports whether the program defines the named function.
+// Selection layers use it to reject unknown names before allocating
+// any per-function tuning state.
+func (p *Program) HasFunc(name string) bool {
+	_, ok := p.res.Funcs[name]
+	return ok
+}
+
 // Backend reports the variant's execution backend.
 func (p *Program) Backend() Backend { return p.cfg.backend }
 
 // OptLevel reports the variant's optimization level.
 func (p *Program) OptLevel() OptLevel { return p.cfg.opt }
+
+// Passes reports the variant's O3 pass mask (meaningful at O3; inert
+// below it).
+func (p *Program) Passes() PassMask { return p.cfg.passes }
 
 // lower builds one Program variant from shared front-end results.
 func lower(fname string, res *ResolvedFile, ti *typeInfo, cfg config) *Program {
@@ -196,7 +275,7 @@ func lower(fname string, res *ResolvedFile, ti *typeInfo, cfg config) *Program {
 	// the caller's frame; inlined callees get fresh slot blocks, so the
 	// per-variant frame sizes grow past the resolver's counts.
 	var plans map[string]*inlinePlan
-	if cfg.opt >= O3 {
+	if cfg.opt >= O3 && cfg.passes&PassInline != 0 {
 		plans = planInlining(res, ti)
 		for name, pl := range plans {
 			cf := p.funcs[name]
@@ -215,7 +294,7 @@ func lower(fname string, res *ResolvedFile, ti *typeInfo, cfg config) *Program {
 		if plan != nil {
 			types = plan.types // caller kinds extended over the inlined slots
 		}
-		ct := &compiler{prog: p, types: types, info: ti, opt: cfg.opt, plan: plan}
+		ct := &compiler{prog: p, types: types, info: ti, opt: cfg.opt, passes: cfg.passes, plan: plan}
 		cf.body = ct.block(cf.info.Decl.Body)
 		cf.numHoist = ct.numHoist
 	}
@@ -244,6 +323,9 @@ type Instance struct {
 	wk       *Walker // lazily built for BackendWalker
 	maxSteps int
 	steps    int
+	// lastSteps is the step count of the most recent call — the
+	// measurement tap autotuning layers read (see LastCallSteps).
+	lastSteps int
 	// limit is the steps value past which step() faults. It normally
 	// holds the budget; a CallContext cancellation watcher drops it to
 	// -1, so the single hot-path comparison covers both the runaway
@@ -273,6 +355,12 @@ func (p *Program) NewInstance() *Instance {
 
 // SetMaxSteps replaces the session's statement budget (n <= 0 restores
 // DefaultMaxSteps). Steps accumulate across calls, as they always have.
+//
+// The budget is strictly per-Instance: no other session of the same
+// Program observes the change. When Instances are recycled through an
+// InstancePool, Put discards both the accumulated step count and any
+// SetMaxSteps override, so a budget adjusted on one checkout can never
+// leak into — or starve — the next.
 func (s *Instance) SetMaxSteps(n int) {
 	if n <= 0 {
 		n = DefaultMaxSteps
@@ -282,6 +370,68 @@ func (s *Instance) SetMaxSteps(n int) {
 
 // Steps reports the statements executed by this session so far.
 func (s *Instance) Steps() int { return s.steps }
+
+// LastCallSteps reports how many statements the most recent
+// Call/CallContext executed, including a call that faulted mid-kernel.
+// Unlike wall time it is deterministic and machine-independent, which
+// makes it a useful cost measurement tap for autotuning layers.
+func (s *Instance) LastCallSteps() int { return s.lastSteps }
+
+// InstancePool is a concurrency-safe free list of Instances of one
+// Program variant. It exists for selection layers (see
+// internal/cminor/autotune) that route concurrent calls through
+// whichever variant a policy picks: Get hands out a ready session, Put
+// recycles it with a restored budget. Checked-out Instances follow the
+// usual rule — one goroutine at a time.
+//
+// An Instance is a session: its global-variable storage persists across
+// checkouts. Pool stateless kernels (the common case); a kernel that
+// accumulates state in globals needs dedicated Instances instead.
+type InstancePool struct {
+	prog *Program
+	mu   sync.Mutex
+	free []*Instance
+}
+
+// NewPool returns an empty Instance pool over p.
+func (p *Program) NewPool() *InstancePool { return &InstancePool{prog: p} }
+
+// Get returns a ready Instance of the pool's variant: a recycled one
+// when available, a fresh one otherwise.
+func (ip *InstancePool) Get() *Instance {
+	ip.mu.Lock()
+	if n := len(ip.free) - 1; n >= 0 {
+		inst := ip.free[n]
+		ip.free = ip.free[:n]
+		ip.mu.Unlock()
+		return inst
+	}
+	ip.mu.Unlock()
+	return ip.prog.NewInstance()
+}
+
+// Put recycles inst into the pool. The session's budget is restored to
+// the Program's configured maximum and its accumulated step count is
+// zeroed: budgets are per-checkout, so a long-lived pool cycling
+// millions of calls never trips the runaway guard on inherited steps,
+// and a SetMaxSteps applied during one checkout is not observable in
+// the next (see SetMaxSteps). Instances belonging to a different
+// Program are dropped rather than pooled.
+func (ip *InstancePool) Put(inst *Instance) {
+	if inst == nil || inst.prog != ip.prog {
+		return
+	}
+	inst.steps = 0
+	inst.lastSteps = 0
+	inst.maxSteps = ip.prog.cfg.maxSteps
+	if inst.wk != nil {
+		inst.wk.Steps = 0
+		inst.wk.MaxSteps = inst.maxSteps
+	}
+	ip.mu.Lock()
+	ip.free = append(ip.free, inst)
+	ip.mu.Unlock()
+}
 
 // ctxPollStride is how many statements the walker backend runs between
 // context polls: large enough that the poll vanishes from hot loops,
@@ -374,6 +524,10 @@ func (s *Instance) CallContext(ctx context.Context, name string, args ...any) (V
 }
 
 func (s *Instance) call(ctx context.Context, name string, args []any) (v Value, err error) {
+	// A call that fails before executing anything (unknown function,
+	// arity mismatch, pre-cancelled ctx) must not leave the previous
+	// call's count in the measurement tap.
+	s.lastSteps = 0
 	if s.prog.cfg.backend == BackendWalker {
 		return s.walkerCall(ctx, name, args)
 	}
@@ -446,6 +600,7 @@ func (s *Instance) call(ctx context.Context, name string, args []any) (v Value, 
 		}
 	}
 	s.ctx = ctx
+	startSteps := s.steps
 	s.limit.Store(int64(s.maxSteps))
 	// Cancellation costs nothing per statement: a watcher drops the
 	// limit when ctx fires, and the ordinary budget comparison faults.
@@ -459,6 +614,7 @@ func (s *Instance) call(ctx context.Context, name string, args []any) (v Value, 
 	}
 	defer func() {
 		s.ctx = nil
+		s.lastSteps = s.steps - startSteps
 		if stopWatch != nil && !stopWatch() {
 			// The watcher ran (or is running). Drain it so it cannot
 			// clobber a later call's limit.
@@ -525,6 +681,7 @@ func (s *Instance) walkerCall(ctx context.Context, name string, args []any) (Val
 	s.wk.ctx = ctx
 	v, err := s.wk.Call(name, args...)
 	s.wk.ctx = nil
+	s.lastSteps = s.wk.Steps - s.steps
 	s.steps = s.wk.Steps
 	return v, err
 }

@@ -353,3 +353,148 @@ double wrap(int n, double a[n], double b[n]) { return dot(n, a, b) * 2.0; }`
 		t.Errorf("steady-state Call allocates %.1f objects/op, want 0", avg)
 	}
 }
+
+// TestInstancePoolBudgetPerCheckout is the SetMaxSteps / pool
+// interaction pin: budgets are per-Instance and per-checkout. A
+// SetMaxSteps applied during one checkout must not leak into the next,
+// and the step count accumulated by one checkout must not starve later
+// ones — the two ways a shared pool could silently corrupt the
+// runaway guard.
+func TestInstancePoolBudgetPerCheckout(t *testing.T) {
+	prog, err := Compile(MustParse("t.c", engineDotSrc), WithMaxSteps(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := prog.NewPool()
+	args, want := dotArgs(32)
+
+	// Checkout 1 shrinks its budget below one call's need and faults.
+	inst := pool.Get()
+	inst.SetMaxSteps(10)
+	if _, err := inst.Call("dot", args...); err == nil {
+		t.Fatal("10-step budget did not fault")
+	}
+	pool.Put(inst)
+
+	// Checkout 2 gets the SAME object back with the program's budget
+	// restored: the override must not leak.
+	inst2 := pool.Get()
+	if inst2 != inst {
+		t.Fatal("pool did not recycle the instance")
+	}
+	if v, err := inst2.Call("dot", args...); err != nil {
+		t.Fatalf("restored budget still faults: %v", err)
+	} else if v.F != want {
+		t.Fatalf("dot = %v, want %v", v.F, want)
+	}
+	pool.Put(inst2)
+
+	// Many checkouts, each consuming a fair fraction of the budget:
+	// without the per-checkout reset the accumulated steps would trip
+	// the guard after a handful of cycles.
+	for i := 0; i < 200; i++ {
+		inst := pool.Get()
+		if _, err := inst.Call("dot", args...); err != nil {
+			t.Fatalf("checkout %d: accumulated steps leaked across the pool: %v", i, err)
+		}
+		pool.Put(inst)
+	}
+
+	// A foreign instance is dropped, not pooled.
+	other, err := prog.Variant(WithOptLevel(O0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(other.NewInstance())
+	if got := pool.Get(); got.prog != prog {
+		t.Fatal("pool handed out an instance of a different program")
+	}
+}
+
+// TestInstancePoolWalkerBackend: pooling works for the oracle backend
+// too, including its budget restore.
+func TestInstancePoolWalkerBackend(t *testing.T) {
+	prog, err := Compile(MustParse("t.c", engineDotSrc),
+		WithBackend(BackendWalker), WithMaxSteps(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := prog.NewPool()
+	args, want := dotArgs(32)
+	for i := 0; i < 50; i++ {
+		inst := pool.Get()
+		v, err := inst.Call("dot", args...)
+		if err != nil {
+			t.Fatalf("walker checkout %d: %v", i, err)
+		}
+		if v.F != want {
+			t.Fatalf("walker checkout %d: dot = %v, want %v", i, v.F, want)
+		}
+		pool.Put(inst)
+	}
+}
+
+// TestLastCallSteps pins the measurement tap: the per-call step count
+// equals the Steps() delta, survives pooling, covers faulting calls,
+// and agrees between backends (the step semantics are shared).
+func TestLastCallSteps(t *testing.T) {
+	prog, err := Compile(MustParse("t.c", engineDotSrc), WithMaxSteps(1<<40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := prog.NewInstance()
+	args, _ := dotArgs(32)
+	before := inst.Steps()
+	if _, err := inst.Call("dot", args...); err != nil {
+		t.Fatal(err)
+	}
+	first := inst.LastCallSteps()
+	if first <= 0 || first != inst.Steps()-before {
+		t.Fatalf("LastCallSteps = %d, Steps delta = %d", first, inst.Steps()-before)
+	}
+	// Steps are deterministic: a second identical call costs the same.
+	if _, err := inst.Call("dot", args...); err != nil {
+		t.Fatal(err)
+	}
+	if inst.LastCallSteps() != first {
+		t.Fatalf("second call cost %d steps, first cost %d", inst.LastCallSteps(), first)
+	}
+	// The walker charges identical step counts (bit-exact parity).
+	wv, err := prog.Variant(WithBackend(BackendWalker))
+	if err != nil {
+		t.Fatal(err)
+	}
+	winst := wv.NewInstance()
+	if _, err := winst.Call("dot", args...); err != nil {
+		t.Fatal(err)
+	}
+	if winst.LastCallSteps() != first {
+		t.Fatalf("walker call cost %d steps, compiled cost %d", winst.LastCallSteps(), first)
+	}
+	// A faulting call still reports the steps it executed on the way in.
+	tight := prog.NewInstance()
+	tight.SetMaxSteps(7)
+	if _, err := tight.Call("dot", args...); err == nil {
+		t.Fatal("7-step budget did not fault")
+	}
+	if got := tight.LastCallSteps(); got != tight.Steps() {
+		t.Fatalf("faulting call: LastCallSteps = %d, Steps = %d", got, tight.Steps())
+	}
+	// A call rejected before execution (unknown function) reports zero,
+	// not the previous call's count — and a pooled recycle clears the
+	// tap too, so no checkout sees the prior tenant's measurement.
+	if _, err := inst.Call("no_such_fn"); err == nil {
+		t.Fatal("unknown function did not error")
+	}
+	if got := inst.LastCallSteps(); got != 0 {
+		t.Fatalf("failed lookup: LastCallSteps = %d, want 0", got)
+	}
+	pool := prog.NewPool()
+	if _, err := inst.Call("dot", args...); err != nil {
+		t.Fatal(err)
+	}
+	pool.Put(inst)
+	if got := pool.Get().LastCallSteps(); got != 0 {
+		t.Fatalf("recycled checkout: LastCallSteps = %d, want 0", got)
+	}
+}

@@ -1,4 +1,4 @@
-package cminor
+package cminor_test
 
 import (
 	"context"
@@ -7,6 +7,12 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+
+	// The corpus runs against every execution engine, including the
+	// autotuner's routed path, so this file lives in the external test
+	// package (cminor itself cannot import autotune).
+	. "socrates/internal/cminor"
+	"socrates/internal/cminor/autotune"
 )
 
 // Differential fuzz-style test: a deterministic generator produces a
@@ -228,6 +234,18 @@ func diffArgs(n int, seed int64) []any {
 	return []any{IntV(int64(n)), a, b, out}
 }
 
+// sameValue mirrors the in-package helper (this file is external so it
+// can route the corpus through the autotuner).
+func sameValue(a, b Value) bool {
+	if a.IsInt != b.IsInt {
+		return false
+	}
+	if a.IsInt {
+		return a.I == b.I
+	}
+	return math.Float64bits(a.F) == math.Float64bits(b.F)
+}
+
 func TestDifferentialGeneratedKernels(t *testing.T) {
 	const corpus = 60
 	for seed := int64(0); seed < corpus; seed++ {
@@ -289,6 +307,41 @@ func TestDifferentialGeneratedKernels(t *testing.T) {
 				if (werr == nil) != (vr.err == nil) {
 					t.Fatalf("%s error divergence on:\n%s\nwalker=%v variant=%v",
 						vr.name, src, werr, vr.err)
+				}
+			}
+			// The tuner-routed path: the same seed driven through the
+			// autotuner with an aggressive exploration rate, so successive
+			// calls land on different variants of the grid — every one must
+			// stay bit-exact with the walker, error outcomes included.
+			tn, tnerr := autotune.New(prog,
+				autotune.WithMinSamples(1),
+				autotune.WithEpsilon(0.5),
+				autotune.WithSeed(uint64(seed)+1))
+			if tnerr != nil {
+				t.Fatalf("autotune.New: %v", tnerr)
+			}
+			for round := 0; round < 6; round++ {
+				targs := diffArgs(8, seed)
+				tv, terr := tn.Call("k", targs...)
+				if (werr == nil) != (terr == nil) {
+					t.Fatalf("tuner round %d error divergence on:\n%s\nwalker=%v tuner=%v",
+						round, src, werr, terr)
+				}
+				if werr != nil {
+					continue
+				}
+				if !sameValue(wv, tv) {
+					t.Fatalf("tuner round %d return divergence on:\n%s\nwalker=%+v tuner=%+v",
+						round, src, wv, tv)
+				}
+				for i := 1; i < len(wArgs); i++ {
+					wa, ta := wArgs[i].(*Array), targs[i].(*Array)
+					for k := range wa.Data {
+						if math.Float64bits(wa.Data[k]) != math.Float64bits(ta.Data[k]) {
+							t.Fatalf("tuner round %d array %d diverges at flat index %d on:\n%s\nwalker=%g tuner=%g",
+								round, i, k, src, wa.Data[k], ta.Data[k])
+						}
+					}
 				}
 			}
 			if werr != nil {

@@ -242,7 +242,7 @@ func (c *compiler) countedLoop(s *ForStmt) stmtFn {
 	var fastBody stmtFn
 	var redOp evalVoidFn
 	stepExact := false
-	if c.opt >= O3 {
+	if c.passOn(PassUnroll) {
 		if es := singleAssignStmt(s.Body); es != nil {
 			redOp = c.exprVoid(es.X)
 			// An inlined callee inside the store charges its own steps, so
@@ -763,7 +763,7 @@ func (c *compiler) tryHoist(root *Ident, subs []Expr) *hoistAccess {
 		// IV-affine nor invariant miss the strength-reduced patterns; at
 		// O3 the range analysis can still prove them in bounds and drop
 		// the per-iteration checks.
-		if c.opt >= O3 {
+		if c.passOn(PassBCE) {
 			return c.tryRangeHoist(root, subs, lc)
 		}
 		return nil
