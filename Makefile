@@ -2,7 +2,7 @@
 # PRs: it writes the full benchmark event stream (go test -json) to
 # BENCH_$(PR).json so successive PRs can be diffed.
 
-PR ?= 5
+PR ?= 6
 BENCHCOUNT ?= 5
 
 .PHONY: all build test test-race vet fmt bench bench-smoke
@@ -28,8 +28,9 @@ fmt:
 # `-bench .` regex includes the *Parallel benchmarks (shared-Program
 # Instances across GOMAXPROCS goroutines), the single-thread
 # walker/compiled pairs, BenchmarkOptLevels — every kernel at every
-# opt level O0–O3, the static per-variant data the autotuner starts
-# from — and BenchmarkAutotuned: the online tuner's steady state next
+# opt level O0–O3 plus the O4 bytecode backend, the static
+# per-variant data the autotuner starts from — and BenchmarkAutotuned:
+# the online tuner's steady state next
 # to the best and worst static variant of every kernel.
 bench:
 	go test ./internal/cminor/... -run '^$$' -bench . -benchmem -count=$(BENCHCOUNT) -json > BENCH_$(PR).json

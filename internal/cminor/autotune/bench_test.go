@@ -15,18 +15,19 @@ import (
 // static choice is measurably slower. `make bench` captures all three
 // per kernel into BENCH_<n>.json.
 func BenchmarkAutotuned(b *testing.B) {
-	levels := []cm.OptLevel{cm.O0, cm.O1, cm.O2, cm.O3}
+	grid := autotune.DefaultGrid()
 	for _, k := range cm.BenchKernels {
 		prog, err := cm.Compile(cm.MustParse(k.File, k.Src), cm.WithMaxSteps(1<<62))
 		if err != nil {
 			b.Fatal(err)
 		}
 		// Rank the static variants with a quick pre-measurement (outside
-		// any timed region): 1 warm-up + best-of-3 per level.
-		insts := make([]*cm.Instance, len(levels))
-		costs := make([]time.Duration, len(levels))
-		for i, lvl := range levels {
-			vp, err := prog.Variant(cm.WithOptLevel(lvl))
+		// any timed region): 1 warm-up + best-of-3 per grid arm.
+		insts := make([]*cm.Instance, len(grid))
+		costs := make([]time.Duration, len(grid))
+		for i, spec := range grid {
+			vp, err := prog.Variant(cm.WithBackend(spec.Backend),
+				cm.WithOptLevel(spec.Opt), cm.WithPasses(spec.Passes))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -89,7 +90,7 @@ func BenchmarkAutotuned(b *testing.B) {
 			args := k.Args()
 			// Converge before timing: the measure phase plus a little
 			// exploit warm-up, so ns/op reflects the steady state.
-			for i := 0; i < 4*5+20; i++ {
+			for i := 0; i < len(grid)*5+20; i++ {
 				if _, err := tn.Call(k.Fn, args...); err != nil {
 					b.Fatal(err)
 				}

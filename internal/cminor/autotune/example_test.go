@@ -15,15 +15,17 @@ type exampleSampler struct{}
 func (exampleSampler) Sample(_ string, spec autotune.VariantSpec, _ int, call func() error) (time.Duration, error) {
 	err := call()
 	cost := map[string]time.Duration{
-		"O0": 400 * time.Microsecond,
-		"O1": 250 * time.Microsecond,
-		"O2": 90 * time.Microsecond,
-		"O3": 110 * time.Microsecond,
+		"O0":       400 * time.Microsecond,
+		"O1":       250 * time.Microsecond,
+		"O2":       90 * time.Microsecond,
+		"O3":       110 * time.Microsecond,
+		"bytecode": 130 * time.Microsecond,
 	}[spec.String()]
 	return cost, err
 }
 
-// ExampleAutoTuner tunes a dot-product kernel over the O0–O3 grid:
+// ExampleAutoTuner tunes a dot-product kernel over the default grid
+// (O0–O3 plus the flat-bytecode backend):
 // after the measure phase (grid × min-samples calls) the tuner routes
 // to whichever variant measured cheapest for this input class.
 func ExampleAutoTuner() {

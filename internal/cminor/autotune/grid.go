@@ -16,10 +16,16 @@ type VariantSpec struct {
 }
 
 // String renders the spec the way benchmark output names variants:
-// "walker", "O0"…"O3", or "O3[inline+bce]" for a partial pass mask.
+// "walker", "bytecode", "O0"…"O3", or "O3[inline+bce]" for a partial
+// pass mask. Non-compiled backends are named by the backend itself —
+// a Snapshot arm label must say which machine ran, not just how hard
+// the frontend optimized.
 func (v VariantSpec) String() string {
-	if v.Backend == cm.BackendWalker {
+	switch v.Backend {
+	case cm.BackendWalker:
 		return "walker"
+	case cm.BackendBytecode:
+		return "bytecode"
 	}
 	if v.Opt == cm.O3 && v.Passes != cm.AllPasses {
 		return "O3[" + v.Passes.String() + "]"
@@ -36,19 +42,22 @@ func (v VariantSpec) options() []cm.Option {
 	}
 }
 
-// DefaultGrid is the four-point opt-level axis of the compiled backend
-// — the grid BENCH_<n>.json records static baselines for.
+// DefaultGrid is the opt-level axis of the compiled backend plus the
+// flat-bytecode backend at full optimization — the grid
+// BENCH_<n>.json records static baselines for.
 func DefaultGrid() []VariantSpec {
 	return []VariantSpec{
 		{Opt: cm.O0},
 		{Opt: cm.O1},
 		{Opt: cm.O2},
 		{Opt: cm.O3, Passes: cm.AllPasses},
+		{Backend: cm.BackendBytecode, Opt: cm.O3, Passes: cm.AllPasses},
 	}
 }
 
 // FineGrid refines the O3 point into every pass subset: O0–O2 plus the
-// seven non-empty (inline, bce, unroll) combinations — ten arms.
+// seven non-empty (inline, bce, unroll) combinations, plus the
+// bytecode backend — eleven arms.
 // O3 with an empty mask is omitted: it behaves exactly like O2, and a
 // duplicate arm would only split the winner's samples. Use FineGrid
 // when the per-pass interactions matter more than convergence speed.
@@ -57,7 +66,7 @@ func FineGrid() []VariantSpec {
 	for m := cm.PassMask(1); m <= cm.AllPasses; m++ {
 		g = append(g, VariantSpec{Opt: cm.O3, Passes: m})
 	}
-	return g
+	return append(g, VariantSpec{Backend: cm.BackendBytecode, Opt: cm.O3, Passes: cm.AllPasses})
 }
 
 // WalkerGrid appends the tree-walking oracle to a grid — useful for

@@ -100,10 +100,11 @@ func siteReport(t *testing.T, tn *AutoTuner, fn string, class int) SiteReport {
 }
 
 // TestSimulatedConvergence drives ten synthetic cost models — shaped
-// like the BENCH_4 static sweep of the ten corpus kernels, including
-// two where O3 does NOT win (inversions the tuner must respect) — and
-// asserts the tuner converges to the statically-best variant for every
-// one within the bounded exploration budget.
+// like the BENCH_6 static sweep of the ten corpus kernels, where the
+// bytecode backend wins five, O3 wins three, and O2 wins two
+// (inversions the tuner must respect) — and asserts the tuner
+// converges to the statically-best variant for every one within the
+// bounded exploration budget.
 func TestSimulatedConvergence(t *testing.T) {
 	grid := DefaultGrid()
 	const minSamples = 3
@@ -115,18 +116,21 @@ func TestSimulatedConvergence(t *testing.T) {
 		cost   map[string]time.Duration // per-variant base cost
 		want   string                   // expected winning variant
 	}{
-		{"gemm", map[string]time.Duration{"O0": 3100 * time.Microsecond, "O1": 2100 * time.Microsecond, "O2": 630 * time.Microsecond, "O3": 560 * time.Microsecond}, "O3"},
-		{"jacobi", map[string]time.Duration{"O0": 1900 * time.Microsecond, "O1": 1500 * time.Microsecond, "O2": 380 * time.Microsecond, "O3": 320 * time.Microsecond}, "O3"},
-		{"axpy", map[string]time.Duration{"O0": 290 * time.Microsecond, "O1": 210 * time.Microsecond, "O2": 74 * time.Microsecond, "O3": 70 * time.Microsecond}, "O3"},
-		{"2mm", map[string]time.Duration{"O0": 2600 * time.Microsecond, "O1": 1800 * time.Microsecond, "O2": 520 * time.Microsecond, "O3": 480 * time.Microsecond}, "O3"},
-		{"seidel2d", map[string]time.Duration{"O0": 2400 * time.Microsecond, "O1": 1700 * time.Microsecond, "O2": 800 * time.Microsecond, "O3": 760 * time.Microsecond}, "O3"},
-		{"atax", map[string]time.Duration{"O0": 700 * time.Microsecond, "O1": 500 * time.Microsecond, "O2": 120 * time.Microsecond, "O3": 110 * time.Microsecond}, "O3"},
-		{"mvt", map[string]time.Duration{"O0": 480 * time.Microsecond, "O1": 340 * time.Microsecond, "O2": 80 * time.Microsecond, "O3": 70 * time.Microsecond}, "O3"},
-		{"trisolv", map[string]time.Duration{"O0": 420 * time.Microsecond, "O1": 300 * time.Microsecond, "O2": 90 * time.Microsecond, "O3": 88 * time.Microsecond}, "O3"},
+		// Dense-accumulate kernels where the flat-bytecode backend's
+		// superinstructions beat the O3 closure trees.
+		{"gemm", map[string]time.Duration{"O0": 3100 * time.Microsecond, "O1": 2100 * time.Microsecond, "O2": 630 * time.Microsecond, "O3": 560 * time.Microsecond, "bytecode": 510 * time.Microsecond}, "bytecode"},
+		{"axpy", map[string]time.Duration{"O0": 290 * time.Microsecond, "O1": 210 * time.Microsecond, "O2": 74 * time.Microsecond, "O3": 70 * time.Microsecond, "bytecode": 46 * time.Microsecond}, "bytecode"},
+		{"atax", map[string]time.Duration{"O0": 700 * time.Microsecond, "O1": 500 * time.Microsecond, "O2": 120 * time.Microsecond, "O3": 110 * time.Microsecond, "bytecode": 88 * time.Microsecond}, "bytecode"},
+		{"mvt", map[string]time.Duration{"O0": 480 * time.Microsecond, "O1": 340 * time.Microsecond, "O2": 80 * time.Microsecond, "O3": 70 * time.Microsecond, "bytecode": 56 * time.Microsecond}, "bytecode"},
+		{"trisolv", map[string]time.Duration{"O0": 420 * time.Microsecond, "O1": 300 * time.Microsecond, "O2": 90 * time.Microsecond, "O3": 88 * time.Microsecond, "bytecode": 67 * time.Microsecond}, "bytecode"},
+		// Stencil kernels where O3 closure trees keep the lead.
+		{"jacobi", map[string]time.Duration{"O0": 1900 * time.Microsecond, "O1": 1500 * time.Microsecond, "O2": 380 * time.Microsecond, "O3": 320 * time.Microsecond, "bytecode": 400 * time.Microsecond}, "O3"},
+		{"2mm", map[string]time.Duration{"O0": 2600 * time.Microsecond, "O1": 1800 * time.Microsecond, "O2": 520 * time.Microsecond, "O3": 480 * time.Microsecond, "bytecode": 530 * time.Microsecond}, "O3"},
+		{"seidel2d", map[string]time.Duration{"O0": 2400 * time.Microsecond, "O1": 1700 * time.Microsecond, "O2": 800 * time.Microsecond, "O3": 760 * time.Microsecond, "bytecode": 900 * time.Microsecond}, "O3"},
 		// Inversions: small kernels where an O3 pass costs more than it
 		// buys — the tuner must pick O2, not assume more opt is better.
-		{"cholesky", map[string]time.Duration{"O0": 520 * time.Microsecond, "O1": 380 * time.Microsecond, "O2": 96 * time.Microsecond, "O3": 103 * time.Microsecond}, "O2"},
-		{"norms", map[string]time.Duration{"O0": 640 * time.Microsecond, "O1": 460 * time.Microsecond, "O2": 140 * time.Microsecond, "O3": 150 * time.Microsecond}, "O2"},
+		{"cholesky", map[string]time.Duration{"O0": 520 * time.Microsecond, "O1": 380 * time.Microsecond, "O2": 96 * time.Microsecond, "O3": 103 * time.Microsecond, "bytecode": 115 * time.Microsecond}, "O2"},
+		{"norms", map[string]time.Duration{"O0": 640 * time.Microsecond, "O1": 460 * time.Microsecond, "O2": 140 * time.Microsecond, "O3": 150 * time.Microsecond, "bytecode": 155 * time.Microsecond}, "O2"},
 	}
 
 	converged := 0
@@ -185,6 +189,7 @@ func TestExplorationBudgetBounds(t *testing.T) {
 	cost := map[string]time.Duration{
 		"O0": 400 * time.Microsecond, "O1": 300 * time.Microsecond,
 		"O2": 100 * time.Microsecond, "O3": 90 * time.Microsecond,
+		"bytecode": 130 * time.Microsecond,
 	}
 	const minSamples = 2
 	budget := len(grid) * minSamples
@@ -236,6 +241,7 @@ func TestDriftReexploration(t *testing.T) {
 	base := map[string]time.Duration{
 		"O0": 500 * time.Microsecond, "O1": 350 * time.Microsecond,
 		"O2": 120 * time.Microsecond, "O3": 80 * time.Microsecond,
+		"bytecode": 160 * time.Microsecond,
 	}
 	sampler := &simSampler{cost: func(call int64, spec VariantSpec, _ int) time.Duration {
 		c := base[spec.String()]
@@ -287,6 +293,7 @@ func TestUCB1Convergence(t *testing.T) {
 	cost := map[string]time.Duration{
 		"O0": 900 * time.Microsecond, "O1": 500 * time.Microsecond,
 		"O2": 200 * time.Microsecond, "O3": 140 * time.Microsecond,
+		"bytecode": 170 * time.Microsecond,
 	}
 	run := func() []SiteReport {
 		tn, err := New(simProgram(t),
@@ -331,11 +338,13 @@ func TestPerClassSelection(t *testing.T) {
 		base := map[string]time.Duration{
 			"O0": 40 * time.Microsecond, "O1": 20 * time.Microsecond,
 			"O2": 30 * time.Microsecond, "O3": 35 * time.Microsecond,
+			"bytecode": 45 * time.Microsecond,
 		}
 		if class == largeClass {
 			base = map[string]time.Duration{
 				"O0": 4000 * time.Microsecond, "O1": 2500 * time.Microsecond,
 				"O2": 900 * time.Microsecond, "O3": 600 * time.Microsecond,
+				"bytecode": 700 * time.Microsecond,
 			}
 		}
 		return time.Duration(float64(base[spec.String()]) * jitter(call))
@@ -371,7 +380,7 @@ func TestPerClassSelection(t *testing.T) {
 func TestLazyMaterialization(t *testing.T) {
 	tn, err := New(simProgram(t), WithMinSamples(1),
 		WithSampler(&simSampler{cost: flatCost(map[string]time.Duration{
-			"O0": 4, "O1": 3, "O2": 2, "O3": 1,
+			"O0": 4, "O1": 3, "O2": 2, "O3": 1, "bytecode": 5,
 		})}))
 	if err != nil {
 		t.Fatal(err)
@@ -418,7 +427,7 @@ func TestPooledBudgetNotLeaked(t *testing.T) {
 	prog := simProgram(t, cm.WithMaxSteps(2000))
 	tn, err := New(prog, WithMinSamples(2), WithEpsilon(0.2),
 		WithSampler(&simSampler{cost: flatCost(map[string]time.Duration{
-			"O0": 4, "O1": 3, "O2": 2, "O3": 1,
+			"O0": 4, "O1": 3, "O2": 2, "O3": 1, "bytecode": 5,
 		})}))
 	if err != nil {
 		t.Fatal(err)
@@ -433,7 +442,7 @@ func TestPooledBudgetNotLeaked(t *testing.T) {
 	tight := simProgram(t, cm.WithMaxSteps(10))
 	tn2, err := New(tight, WithMinSamples(1),
 		WithSampler(&simSampler{cost: flatCost(map[string]time.Duration{
-			"O0": 4, "O1": 3, "O2": 2, "O3": 1,
+			"O0": 4, "O1": 3, "O2": 2, "O3": 1, "bytecode": 5,
 		})}))
 	if err != nil {
 		t.Fatal(err)
@@ -452,7 +461,7 @@ func TestPooledBudgetNotLeaked(t *testing.T) {
 func TestFaultingCallsDontPoisonEstimates(t *testing.T) {
 	tn, err := New(simProgram(t), WithMinSamples(1),
 		WithSampler(&simSampler{cost: flatCost(map[string]time.Duration{
-			"O0": 4, "O1": 3, "O2": 2, "O3": 1,
+			"O0": 4, "O1": 3, "O2": 2, "O3": 1, "bytecode": 5,
 		})}))
 	if err != nil {
 		t.Fatal(err)
@@ -584,6 +593,8 @@ func TestVariantSpecString(t *testing.T) {
 		{VariantSpec{Opt: cm.O3, Passes: cm.PassInline | cm.PassBCE}, "O3[inline+bce]"},
 		{VariantSpec{Opt: cm.O3}, "O3[none]"},
 		{VariantSpec{Backend: cm.BackendWalker}, "walker"},
+		{VariantSpec{Backend: cm.BackendBytecode, Opt: cm.O3, Passes: cm.AllPasses}, "bytecode"},
+		{VariantSpec{Backend: cm.BackendBytecode}, "bytecode"},
 	}
 	for _, tc := range cases {
 		if got := tc.spec.String(); got != tc.want {

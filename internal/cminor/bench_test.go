@@ -169,22 +169,33 @@ func BenchmarkAtaxCompiled(b *testing.B) {
 	}
 }
 
-// BenchmarkOptLevels sweeps every corpus kernel across O0–O3 so
-// BENCH_<n>.json carries one record per (kernel, variant) — the
-// design-space sample SOCRATES' design-time exploration assumes, and
-// the static baseline the autotuner's online selection starts from.
+// BenchmarkOptLevels sweeps every corpus kernel across O0–O3 plus the
+// O4 flat-bytecode backend so BENCH_<n>.json carries one record per
+// (kernel, variant) — the design-space sample SOCRATES' design-time
+// exploration assumes, and the static baseline the autotuner's online
+// selection starts from.
 func BenchmarkOptLevels(b *testing.B) {
+	variants := []struct {
+		label string
+		opts  []Option
+	}{
+		{"O0", []Option{WithOptLevel(O0)}},
+		{"O1", []Option{WithOptLevel(O1)}},
+		{"O2", []Option{WithOptLevel(O2)}},
+		{"O3", []Option{WithOptLevel(O3)}},
+		{"O4", []Option{WithBackend(BackendBytecode), WithOptLevel(O3)}},
+	}
 	for _, k := range BenchKernels {
 		prog, err := Compile(MustParse(k.File, k.Src), WithMaxSteps(1<<62))
 		if err != nil {
 			b.Fatal(err)
 		}
-		for _, lvl := range []OptLevel{O0, O1, O2, O3} {
-			vp, err := prog.Variant(WithOptLevel(lvl))
+		for _, v := range variants {
+			vp, err := prog.Variant(v.opts...)
 			if err != nil {
 				b.Fatal(err)
 			}
-			b.Run(k.Name+"/"+lvl.String(), func(b *testing.B) {
+			b.Run(k.Name+"/"+v.label, func(b *testing.B) {
 				inst := vp.NewInstance()
 				args := k.Args()
 				b.ReportAllocs()

@@ -1,0 +1,472 @@
+package cminor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The bytecode backend (BackendBytecode, "O4") lowers typed, resolved
+// functions to a flat register-machine bytecode executed by a single
+// dispatch loop (bytecode_exec.go) instead of a closure graph. A frame
+// carries two dense register files — int64 and float64 — indexed so
+// that scalar slot s lives in ireg[s] (statically-int slots) or freg[s]
+// (statically-double slots); temporaries are allocated monotonically
+// above the slot block. Lowering (bytecode_lower.go) reuses the
+// typecheck kind tables and the loop optimizer's recognition and
+// invariance analysis: counted loops become test-and-branch with a
+// proof preamble, proven subscripts use unchecked load/store opcodes,
+// and the hot Polybench shapes collapse into superinstructions
+// (opFMAAcc fma-accumulate, opLoopNext fused increment+step+branch).
+//
+// Semantics are bit- and step-exact with the walker: every statement
+// charges the same step() budget, every fault carries the same
+// positioned *Diag text, and loop versioning falls back to a fully
+// checked body when a preamble proof fails. A function the lowerer
+// cannot prove safe (user calls, pointer cells, dynamic kinds, rank>2
+// arrays) simply keeps its closure-compiled body — bailing is always
+// semantics-preserving.
+
+// bcOp enumerates the bytecode operations.
+type bcOp uint8
+
+const (
+	opNop bcOp = iota
+
+	// control flow
+	opStep      // charge one statement against the step budget
+	opStep2     // charge two statements (counted-loop entry)
+	opJmp       // pc = a
+	opBrZI      // if ireg[a] == 0: pc = b
+	opBrNZI     // if ireg[a] != 0: pc = b
+	opBrZF      // if freg[a] == 0: pc = b
+	opBrNZF     // if freg[a] != 0: pc = b
+	opBrCI      // if cmp(sub, ireg[a], ireg[b]): pc = c
+	opBrCF      // if cmp(sub, freg[a], freg[b]): pc = c
+	opStrictDec // counted "<" bound: if ireg[a]==MinInt64: pc = b, else ireg[a]--
+	opLoopNext  // ireg[a]++; step; if ireg[a] <= ireg[b]: pc = c
+	// opLoopNext2 is the fused back edge: it charges the for statement's
+	// per-iteration step AND the next iteration's first-statement step in
+	// one budget check, then jumps past that statement's opStep. Nothing
+	// observable happens between the two charges, so only the fault-time
+	// counter could diverge — and the rollback in the exec loop restores
+	// the exact walker count when the budget dies between them.
+	opLoopNext2 // ireg[a]++; if ≤ ireg[b]: step×2, pc = c; else step
+	opRetI      // fr.ret = IntV(ireg[a]); return
+	opRetF      // fr.ret = FloatV(freg[a]); return
+	opRetZ      // fr.ret = Value{}; return
+
+	// moves and conversions
+	opLdcI // ireg[d] = imm
+	opLdcF // freg[d] = fv
+	opMovI // ireg[d] = ireg[a]
+	opMovF // freg[d] = freg[a]
+	opI2F  // freg[d] = float64(ireg[a])
+	opF2I  // ireg[d] = int64(freg[a])
+	opLdGI // ireg[d] = globals[a].I
+	opLdGF // freg[d] = globals[a].F
+	opStGI // globals[d] = IntV(ireg[a])
+	opStGF // globals[d] = FloatV(freg[a])
+
+	// int ALU
+	opAddI  // ireg[d] = ireg[a] + ireg[b]
+	opSubI  // ireg[d] = ireg[a] - ireg[b]
+	opMulI  // ireg[d] = ireg[a] * ireg[b]
+	opDivI  // ireg[d] = ireg[a] / ireg[b] (faults on 0)
+	opModI  // ireg[d] = ireg[a] % ireg[b] (faults on 0)
+	opNegI  // ireg[d] = -ireg[a]
+	opAddcI // ireg[d] = ireg[a] + imm
+
+	// float ALU
+	opAddF  // freg[d] = freg[a] + freg[b]
+	opSubF  // freg[d] = freg[a] - freg[b]
+	opMulF  // freg[d] = freg[a] * freg[b]
+	opDivF  // freg[d] = freg[a] / freg[b]
+	opModF  // freg[d] = math.Mod(freg[a], freg[b])
+	opNegF  // freg[d] = -freg[a]
+	opAddcF // freg[d] = freg[a] + fv
+
+	// math builtins
+	opMath1 // freg[d] = builtin(sub)(freg[a])
+	opPow   // freg[d] = math.Pow(freg[a], freg[b])
+
+	// local array declaration
+	opNewArr1 // arrays[c] = NewArray(ireg[a])
+	opNewArr2 // arrays[c] = NewArray(ireg[a], ireg[b])
+
+	// checked element access (exact closure-backend fault text)
+	opLdE1  // freg[d] = arr(c)[ireg[a]]
+	opLdE2  // freg[d] = arr(c)[ireg[a]][ireg[b]]
+	opStE1  // arr(c)[ireg[a]] = freg[d]
+	opStE2  // arr(c)[ireg[a]][ireg[b]] = freg[d]
+	opCmE1  // freg[e] = (arr(c)[ireg[a]] op(sub)= freg[d])
+	opCmE2  // freg[e] = (arr(c)[ireg[a]][ireg[b]] op(sub)= freg[d])
+	opIncE1 // freg[d] = arr(c)[ireg[a]] (then ±1 store; sub=1 inc)
+	opIncE2 // freg[d] = arr(c)[ireg[a]][ireg[b]] (then ±1 store; sub=1 inc)
+
+	// loop-preamble proofs; failure jumps to the safe body. opProveArr
+	// also hoists the proven array's backing store into the frame's data
+	// register dreg[a], so the fast body's unchecked accesses index one
+	// flat []float64 directly — the bytecode analogue of the closure
+	// backend's hoisted row slices.
+	opProveArr // arr(c) exists with rank sub (else pc=b); ireg[d],ireg[e] = dims; dreg[a] = Data
+	opProveRng // unless 0 <= ireg[a] < ireg[b]: pc = c
+	opProveIV  // unless [ireg[a]+imm, ireg[b]+imm] ⊂ [0, ireg[d]) (overflow-checked): pc = c
+
+	// Proven (unchecked) element access over a hoisted data register.
+	// The addressing mode is baked into the opcode (one dispatch, no
+	// mode decode):
+	//
+	//	*0  ea = ireg[a] + imm
+	//	*1  ea = ireg[a] + ireg[b] + imm
+	//	*2  ea = ireg[a]*ireg[e] + ireg[b]        (e = row-stride reg; imm folded)
+	opLdU0 // freg[d] = dreg[c][ea]
+	opLdU1
+	opLdU2
+	opStU0 // dreg[c][ea] = freg[d]
+	opStU1
+	opStU2
+	opCmU0 // dreg[c][ea] op(sub)= freg[d]
+	opCmU1
+	opCmU2
+
+	// Superinstructions. The mode-2 variants need e for the row stride,
+	// so their second float operand rides in imm (always free there —
+	// mode-2 addresses fold the immediate into the b register).
+	opLdMul0 // freg[d] = freg[e] * dreg[c][ea]  (the hot "coef * A[...]" shape)
+	opLdMul1
+	opLdMul2  // freg[d] = freg[imm] * dreg[c][ea]
+	opFMAAcc0 // dreg[c][ea] += float64(freg[d] * freg[e])
+	opFMAAcc1
+	opFMAAcc2 // dreg[c][ea] += float64(freg[d] * freg[imm])
+	opFMSAcc0 // dreg[c][ea] -= float64(freg[d] * freg[e])
+	opFMSAcc1
+	opFMSAcc2 // dreg[c][ea] -= float64(freg[d] * freg[imm])
+	opFMAS    // freg[d] += float64(freg[a] * freg[b])
+
+	// Fused instruction triples, installed by the peephole pass over
+	// hot fast-body shapes (see fusePeephole). A fused opcode replaces
+	// the first instruction of a recognized straight-line triple; the
+	// two following instructions stay in place as its operand banks and
+	// are skipped by the dispatch loop (pc += 2). Each case executes
+	// the constituent instructions' exact semantics — temp registers
+	// included — so fusion is observationally a no-op; it only merges
+	// three dispatches into one.
+	opF3MulDot  // [ldmul1, ldu2, fmaacc0]: the gemm/2mm alpha*A[i][k]*B[k][j] accumulate
+	opF3RowCol  // [ldu1, ldu2, fmaacc0]: the plain A[i][k]*B[k][j] accumulate
+	opF3RowVec  // [ldu1, ldu0, fmaacc0]: the matrix-vector A[i][j]*x[j] accumulate
+	opF3ColVec  // [ldu2, ldu0, fmaacc0]: the transposed A[j][i]*x[j] accumulate
+	opF3RowVecS // [ldu1, ldu0, fmsacc0]: the triangular-solve A[i][j]*x[j] subtract
+	opF3RowRowS // [ldu1, ldu1, fmsacc0]: the cholesky A[i][k]*A[j][k] subtract
+)
+
+// Addressing modes as classified by the lowerer (selects the opcode
+// within a *0/*1/*2 group):
+//
+//	bcMode0  ea = ireg[a] + imm
+//	bcMode1  ea = ireg[a] + ireg[b] + imm
+//	bcMode2  ea = ireg[a]*ireg[e] + ireg[b]
+const (
+	bcMode0 uint8 = iota
+	bcMode1
+	bcMode2
+)
+
+// Comparison codes for opBrCI/opBrCF (in sub). bcNegate inverts the
+// result of the original predicate — never a rewritten operator — so
+// float NaN semantics match the closure backend's !cond branches.
+const (
+	bcEQ uint8 = iota
+	bcNEQ
+	bcLT
+	bcGT
+	bcLEQ
+	bcGEQ
+
+	bcNegate uint8 = 0x80
+)
+
+// opMath1 sub codes.
+const (
+	bcSqrt uint8 = iota
+	bcFabs
+	bcExp
+	bcLog
+	bcFloor
+	bcCeil
+)
+
+// Compound arithmetic codes (opCmU*/opCmE* sub).
+const (
+	bcOpAdd uint8 = iota
+	bcOpSub
+	bcOpMul
+	bcOpDiv
+	bcOpMod
+)
+
+// instr is one bytecode instruction. Operand meaning is per-opcode (see
+// the bcOp comments); c encodes an array reference: >= 0 is a local
+// frame array slot, < 0 is global array slot ^c. pos is the source
+// position used by runtime faults and the disassembler.
+type instr struct {
+	op  bcOp
+	sub uint8
+	a   int32
+	b   int32
+	c   int32
+	d   int32
+	e   int32
+	imm int64
+	fv  float64
+	pos Pos
+}
+
+// bcParam describes one by-value scalar parameter: which slot/register
+// it occupies, which register file, and whether the body may write it
+// (mutated parameters are flushed back to fr.scalars on exit and on
+// faults, so *Value copybacks observe the partial state exactly).
+type bcParam struct {
+	slot    int32
+	isInt   bool
+	mutated bool
+}
+
+// bcFunc is one function lowered to flat bytecode.
+type bcFunc struct {
+	name   string
+	code   []instr
+	nI, nF int // register-file sizes (slots + temporaries)
+	nD     int // data registers (hoisted array backing stores)
+	params []bcParam
+}
+
+// bcOpNames is indexed by bcOp for the disassembler.
+var bcOpNames = [...]string{
+	opNop: "nop", opStep: "step", opStep2: "step2", opJmp: "jmp",
+	opBrZI: "brz.i", opBrNZI: "brnz.i", opBrZF: "brz.f", opBrNZF: "brnz.f",
+	opBrCI: "brc.i", opBrCF: "brc.f", opStrictDec: "strictdec",
+	opLoopNext: "loopnext", opLoopNext2: "loopnext2",
+	opRetI: "ret.i", opRetF: "ret.f", opRetZ: "ret",
+	opLdcI: "ldc.i", opLdcF: "ldc.f", opMovI: "mov.i", opMovF: "mov.f",
+	opI2F: "i2f", opF2I: "f2i", opLdGI: "ldg.i", opLdGF: "ldg.f",
+	opStGI: "stg.i", opStGF: "stg.f",
+	opAddI: "add.i", opSubI: "sub.i", opMulI: "mul.i", opDivI: "div.i",
+	opModI: "mod.i", opNegI: "neg.i", opAddcI: "addc.i",
+	opAddF: "add.f", opSubF: "sub.f", opMulF: "mul.f", opDivF: "div.f",
+	opModF: "mod.f", opNegF: "neg.f", opAddcF: "addc.f",
+	opMath1: "math1", opPow: "pow",
+	opNewArr1: "newarr1", opNewArr2: "newarr2",
+	opLdE1: "lde1", opLdE2: "lde2", opStE1: "ste1", opStE2: "ste2",
+	opCmE1: "cme1", opCmE2: "cme2", opIncE1: "ince1", opIncE2: "ince2",
+	opProveArr: "provearr", opProveRng: "proverng", opProveIV: "proveiv",
+	opLdU0: "ldu0", opLdU1: "ldu1", opLdU2: "ldu2",
+	opStU0: "stu0", opStU1: "stu1", opStU2: "stu2",
+	opCmU0: "cmu0", opCmU1: "cmu1", opCmU2: "cmu2",
+	opLdMul0: "ldmul0", opLdMul1: "ldmul1", opLdMul2: "ldmul2",
+	opFMAAcc0: "fmaacc0", opFMAAcc1: "fmaacc1", opFMAAcc2: "fmaacc2",
+	opFMSAcc0: "fmsacc0", opFMSAcc1: "fmsacc1", opFMSAcc2: "fmsacc2",
+	opFMAS:     "fmas",
+	opF3MulDot: "f3.muldot", opF3RowCol: "f3.rowcol", opF3RowVec: "f3.rowvec",
+	opF3ColVec: "f3.colvec", opF3RowVecS: "f3.rowvecs", opF3RowRowS: "f3.rowrows",
+}
+
+var bcCmpNames = [...]string{"eq", "neq", "lt", "gt", "leq", "geq"}
+var bcMathNames = [...]string{"sqrt", "fabs", "exp", "log", "floor", "ceil"}
+var bcArithNames = [...]string{"+", "-", "*", "/", "%"}
+
+// Disassemble renders the lowered bytecode of one function of a
+// BackendBytecode program — opcode, operands and source position per
+// instruction — so codegen changes are reviewable as text, not only as
+// benchmark deltas. It errors for other backends, unknown functions,
+// and functions where lowering bailed to the closure fallback.
+func Disassemble(p *Program, fn string) (string, error) {
+	if p.cfg.backend != BackendBytecode {
+		return "", fmt.Errorf("cminor: Disassemble: program backend is %s, not bytecode", p.cfg.backend)
+	}
+	cf := p.funcs[fn]
+	if cf == nil {
+		return "", fmt.Errorf("cminor: Disassemble: no function %q", fn)
+	}
+	if cf.bc == nil {
+		return "", fmt.Errorf("cminor: Disassemble: %s bailed to the closure fallback", fn)
+	}
+	bc := cf.bc
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s: %d instrs, %d int regs, %d float regs, %d data regs\n",
+		bc.name, len(bc.code), bc.nI, bc.nF, bc.nD)
+	for pc := range bc.code {
+		in := &bc.code[pc]
+		ops := bcOperands(in)
+		if in.pos != (Pos{}) {
+			fmt.Fprintf(&sb, "%4d  %-10s %-28s ; %s\n", pc, bcOpNames[in.op], ops, in.pos)
+		} else {
+			line := fmt.Sprintf("%4d  %-10s %s", pc, bcOpNames[in.op], ops)
+			sb.WriteString(strings.TrimRight(line, " "))
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String(), nil
+}
+
+// bcArrName renders an array operand: a<slot> local, g<slot> global.
+func bcArrName(c int32) string {
+	if c < 0 {
+		return fmt.Sprintf("g%d", ^c)
+	}
+	return fmt.Sprintf("a%d", c)
+}
+
+// bcEA renders the effective-address operand of an unchecked access
+// over a hoisted data register (mode baked into the opcode).
+func bcEA(in *instr, mode uint8) string {
+	s := ""
+	imm := in.imm
+	switch mode {
+	case bcMode0:
+		s = fmt.Sprintf("i%d", in.a)
+	case bcMode1:
+		s = fmt.Sprintf("i%d+i%d", in.a, in.b)
+	case bcMode2:
+		s = fmt.Sprintf("i%d*i%d+i%d", in.a, in.e, in.b)
+		imm = 0 // mode-2 superinstructions carry a register in imm
+	}
+	if imm != 0 {
+		s += fmt.Sprintf("%+d", imm)
+	}
+	return fmt.Sprintf("d%d[%s]", in.c, s)
+}
+
+// bcOperands renders one instruction's operands symbolically (iN/fN are
+// int/float registers, aN/gN arrays, @N a jump target pc).
+func bcOperands(in *instr) string {
+	switch in.op {
+	case opNop, opStep, opStep2, opRetZ:
+		return ""
+	case opJmp:
+		return fmt.Sprintf("@%d", in.a)
+	case opBrZI, opBrNZI:
+		return fmt.Sprintf("i%d @%d", in.a, in.b)
+	case opBrZF, opBrNZF:
+		return fmt.Sprintf("f%d @%d", in.a, in.b)
+	case opBrCI, opBrCF:
+		r := "i"
+		if in.op == opBrCF {
+			r = "f"
+		}
+		cmp := bcCmpNames[in.sub&^bcNegate]
+		if in.sub&bcNegate != 0 {
+			cmp = "!" + cmp
+		}
+		return fmt.Sprintf("%s %s%d %s%d @%d", cmp, r, in.a, r, in.b, in.c)
+	case opStrictDec:
+		return fmt.Sprintf("i%d @%d", in.a, in.b)
+	case opLoopNext, opLoopNext2:
+		return fmt.Sprintf("i%d<=i%d @%d", in.a, in.b, in.c)
+	case opRetI:
+		return fmt.Sprintf("i%d", in.a)
+	case opRetF:
+		return fmt.Sprintf("f%d", in.a)
+	case opLdcI:
+		return fmt.Sprintf("i%d = %d", in.d, in.imm)
+	case opLdcF:
+		return fmt.Sprintf("f%d = %v", in.d, in.fv)
+	case opMovI, opNegI, opF2I:
+		return fmt.Sprintf("i%d i%d", in.d, in.a)
+	case opMovF, opNegF, opI2F:
+		return fmt.Sprintf("f%d f%d", in.d, in.a)
+	case opLdGI:
+		return fmt.Sprintf("i%d gs%d", in.d, in.a)
+	case opLdGF:
+		return fmt.Sprintf("f%d gs%d", in.d, in.a)
+	case opStGI:
+		return fmt.Sprintf("gs%d i%d", in.d, in.a)
+	case opStGF:
+		return fmt.Sprintf("gs%d f%d", in.d, in.a)
+	case opAddI, opSubI, opMulI, opDivI, opModI:
+		return fmt.Sprintf("i%d i%d i%d", in.d, in.a, in.b)
+	case opAddcI:
+		return fmt.Sprintf("i%d i%d %+d", in.d, in.a, in.imm)
+	case opAddF, opSubF, opMulF, opDivF, opModF:
+		return fmt.Sprintf("f%d f%d f%d", in.d, in.a, in.b)
+	case opAddcF:
+		return fmt.Sprintf("f%d f%d %+v", in.d, in.a, in.fv)
+	case opMath1:
+		return fmt.Sprintf("%s f%d f%d", bcMathNames[in.sub], in.d, in.a)
+	case opPow:
+		return fmt.Sprintf("f%d f%d f%d", in.d, in.a, in.b)
+	case opNewArr1:
+		return fmt.Sprintf("%s [i%d]", bcArrName(in.c), in.a)
+	case opNewArr2:
+		return fmt.Sprintf("%s [i%d][i%d]", bcArrName(in.c), in.a, in.b)
+	case opLdE1:
+		return fmt.Sprintf("f%d %s[i%d]", in.d, bcArrName(in.c), in.a)
+	case opLdE2:
+		return fmt.Sprintf("f%d %s[i%d][i%d]", in.d, bcArrName(in.c), in.a, in.b)
+	case opStE1:
+		return fmt.Sprintf("%s[i%d] f%d", bcArrName(in.c), in.a, in.d)
+	case opStE2:
+		return fmt.Sprintf("%s[i%d][i%d] f%d", bcArrName(in.c), in.a, in.b, in.d)
+	case opCmE1:
+		return fmt.Sprintf("f%d %s[i%d] %s= f%d", in.e, bcArrName(in.c), in.a, bcArithNames[in.sub], in.d)
+	case opCmE2:
+		return fmt.Sprintf("f%d %s[i%d][i%d] %s= f%d", in.e, bcArrName(in.c), in.a, in.b, bcArithNames[in.sub], in.d)
+	case opIncE1:
+		return fmt.Sprintf("f%d %s[i%d] sub=%d", in.d, bcArrName(in.c), in.a, in.sub)
+	case opIncE2:
+		return fmt.Sprintf("f%d %s[i%d][i%d] sub=%d", in.d, bcArrName(in.c), in.a, in.b, in.sub)
+	case opProveArr:
+		s := fmt.Sprintf("%s rank=%d i%d", bcArrName(in.c), in.sub, in.d)
+		if in.sub == 2 {
+			s += fmt.Sprintf(" i%d", in.e)
+		}
+		return s + fmt.Sprintf(" d%d else @%d", in.a, in.b)
+	case opProveRng:
+		return fmt.Sprintf("i%d < i%d else @%d", in.a, in.b, in.c)
+	case opProveIV:
+		return fmt.Sprintf("[i%d%+d, i%d%+d] < i%d else @%d", in.a, in.imm, in.b, in.imm, in.d, in.c)
+	case opLdU0, opLdU1, opLdU2:
+		return fmt.Sprintf("f%d %s", in.d, bcEA(in, uint8(in.op-opLdU0)))
+	case opStU0, opStU1, opStU2:
+		return fmt.Sprintf("%s f%d", bcEA(in, uint8(in.op-opStU0)), in.d)
+	case opCmU0, opCmU1, opCmU2:
+		return fmt.Sprintf("%s %s= f%d", bcEA(in, uint8(in.op-opCmU0)), bcArithNames[in.sub], in.d)
+	case opLdMul0, opLdMul1:
+		return fmt.Sprintf("f%d f%d*%s", in.d, in.e, bcEA(in, uint8(in.op-opLdMul0)))
+	case opLdMul2:
+		return fmt.Sprintf("f%d f%d*%s", in.d, in.imm, bcEA(in, bcMode2))
+	case opFMAAcc0, opFMAAcc1:
+		return fmt.Sprintf("%s += f%d*f%d", bcEA(in, uint8(in.op-opFMAAcc0)), in.d, in.e)
+	case opFMAAcc2:
+		return fmt.Sprintf("%s += f%d*f%d", bcEA(in, bcMode2), in.d, in.imm)
+	case opFMSAcc0, opFMSAcc1:
+		return fmt.Sprintf("%s -= f%d*f%d", bcEA(in, uint8(in.op-opFMSAcc0)), in.d, in.e)
+	case opFMSAcc2:
+		return fmt.Sprintf("%s -= f%d*f%d", bcEA(in, bcMode2), in.d, in.imm)
+	case opFMAS:
+		return fmt.Sprintf("f%d += f%d*f%d", in.d, in.a, in.b)
+	// Fused triples print the head's own (first constituent) operands;
+	// the two instructions they absorb follow as ordinary rows.
+	case opF3MulDot:
+		return fmt.Sprintf("f%d f%d*%s ...", in.d, in.e, bcEA(in, bcMode1))
+	case opF3RowCol, opF3RowVec, opF3RowVecS, opF3RowRowS:
+		return fmt.Sprintf("f%d %s ...", in.d, bcEA(in, bcMode1))
+	case opF3ColVec:
+		return fmt.Sprintf("f%d %s ...", in.d, bcEA(in, bcMode2))
+	}
+	return "?"
+}
+
+// BytecodeFuncs reports which functions of a BackendBytecode program
+// lowered to flat bytecode (the rest run their closure fallback),
+// sorted by name. Introspection for tests and tooling.
+func BytecodeFuncs(p *Program) []string {
+	var out []string
+	for name, cf := range p.funcs {
+		if cf.bc != nil {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

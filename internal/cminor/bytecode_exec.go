@@ -1,0 +1,470 @@
+package cminor
+
+import "math"
+
+// Execution of lowered bytecode: one flat for/switch dispatch loop over
+// a dense []instr, operating on the frame's int64/float64 register
+// files. Statement-budget charging, fault text and fault positions are
+// bit-identical to the closure backend (and therefore to the walker):
+// the step opcodes run the same counter/limit comparison as
+// Instance.step, and the checked access opcodes raise the same
+// positioned *Diag panics as checkedElem.
+
+// bcArr resolves an array operand: c >= 0 is a frame slot, c < 0 a
+// global slot (^c).
+func bcArr(fr *frame, c int32) *Array {
+	if c < 0 {
+		return fr.ec.g.arrays[^c]
+	}
+	return fr.arrays[c]
+}
+
+// bcElem1 is the checked rank-1 element accessor (closure parity: same
+// checks, same fault text, same position).
+func bcElem1(fr *frame, in *instr, idx int64) (*Array, int) {
+	a := bcArr(fr, in.c)
+	file := fr.ec.prog.fname
+	if len(a.Dims) != 1 {
+		rtPanic(file, in.pos, "array rank %d indexed with 1 subscript", len(a.Dims))
+	}
+	i := int(idx)
+	if uint(i) >= uint(a.Dims[0]) {
+		rtPanic(file, in.pos, "index %d out of range [0,%d)", i, a.Dims[0])
+	}
+	return a, i
+}
+
+// bcElem2 is the checked rank-2 element accessor.
+func bcElem2(fr *frame, in *instr, i0, i1 int64) (*Array, int) {
+	a := bcArr(fr, in.c)
+	file := fr.ec.prog.fname
+	if len(a.Dims) != 2 {
+		rtPanic(file, in.pos, "array rank %d indexed with 2 subscripts", len(a.Dims))
+	}
+	i := int(i0)
+	j := int(i1)
+	if uint(i) >= uint(a.Dims[0]) {
+		rtPanic(file, in.pos, "index %d out of range [0,%d) in dim 0", i, a.Dims[0])
+	}
+	if uint(j) >= uint(a.Dims[1]) {
+		rtPanic(file, in.pos, "index %d out of range [0,%d) in dim 1", j, a.Dims[1])
+	}
+	return a, i*a.Dims[1] + j
+}
+
+// bcCompound applies one float compound op (division by zero yields
+// ±Inf; % is math.Mod — float semantics, like the closure backend's
+// compound element stores).
+func bcCompound(op uint8, old, v float64) float64 {
+	switch op {
+	case bcOpAdd:
+		return old + v
+	case bcOpSub:
+		return old - v
+	case bcOpMul:
+		return old * v
+	case bcOpDiv:
+		return old / v
+	default:
+		return math.Mod(old, v)
+	}
+}
+
+// bcFlushParams writes mutated by-value scalar parameters back to their
+// frame slots. It runs deferred — on normal return and on the panic
+// path of a runtime fault — so *Value copybacks observe exactly the
+// partial state the walker would have produced.
+func bcFlushParams(fr *frame, bc *bcFunc) {
+	for i := range bc.params {
+		p := &bc.params[i]
+		if !p.mutated {
+			continue
+		}
+		if p.isInt {
+			fr.scalars[p.slot] = IntV(fr.ireg[p.slot])
+		} else {
+			fr.scalars[p.slot] = FloatV(fr.freg[p.slot])
+		}
+	}
+}
+
+// execBC runs one bytecode function body in fr.
+func execBC(fr *frame, bc *bcFunc) {
+	ireg, freg, dreg := fr.ireg, fr.freg, fr.dreg
+	for i := range bc.params {
+		p := &bc.params[i]
+		if p.isInt {
+			ireg[p.slot] = fr.scalars[p.slot].I
+		} else {
+			freg[p.slot] = fr.scalars[p.slot].F
+		}
+	}
+	defer bcFlushParams(fr, bc)
+	ec := fr.ec
+	g := ec.g
+	file := ec.prog.fname
+	code := bc.code
+	pc := 0
+	for {
+		in := &code[pc]
+		pc++
+		switch in.op {
+		case opNop:
+		case opStep:
+			ec.steps++
+			if int64(ec.steps) > ec.limit.Load() {
+				panic(ec.faultCause())
+			}
+		case opStep2:
+			ec.steps++
+			if int64(ec.steps) > ec.limit.Load() {
+				panic(ec.faultCause())
+			}
+			ec.steps++
+			if int64(ec.steps) > ec.limit.Load() {
+				panic(ec.faultCause())
+			}
+		case opJmp:
+			pc = int(in.a)
+		case opBrZI:
+			if ireg[in.a] == 0 {
+				pc = int(in.b)
+			}
+		case opBrNZI:
+			if ireg[in.a] != 0 {
+				pc = int(in.b)
+			}
+		case opBrZF:
+			if freg[in.a] == 0 {
+				pc = int(in.b)
+			}
+		case opBrNZF:
+			if freg[in.a] != 0 {
+				pc = int(in.b)
+			}
+		case opBrCI:
+			x, y := ireg[in.a], ireg[in.b]
+			var r bool
+			switch in.sub &^ bcNegate {
+			case bcEQ:
+				r = x == y
+			case bcNEQ:
+				r = x != y
+			case bcLT:
+				r = x < y
+			case bcGT:
+				r = x > y
+			case bcLEQ:
+				r = x <= y
+			default:
+				r = x >= y
+			}
+			if in.sub&bcNegate != 0 {
+				r = !r
+			}
+			if r {
+				pc = int(in.c)
+			}
+		case opBrCF:
+			x, y := freg[in.a], freg[in.b]
+			var r bool
+			switch in.sub &^ bcNegate {
+			case bcEQ:
+				r = x == y
+			case bcNEQ:
+				r = x != y
+			case bcLT:
+				r = x < y
+			case bcGT:
+				r = x > y
+			case bcLEQ:
+				r = x <= y
+			default:
+				r = x >= y
+			}
+			if in.sub&bcNegate != 0 {
+				r = !r
+			}
+			if r {
+				pc = int(in.c)
+			}
+		case opStrictDec:
+			if ireg[in.a] == math.MinInt64 {
+				pc = int(in.b)
+			} else {
+				ireg[in.a]--
+			}
+		case opLoopNext:
+			v := ireg[in.a] + 1
+			ireg[in.a] = v
+			ec.steps++
+			if int64(ec.steps) > ec.limit.Load() {
+				panic(ec.faultCause())
+			}
+			if v <= ireg[in.b] {
+				pc = int(in.c)
+			}
+		case opLoopNext2:
+			// Fused back edge: one budget check covers the for statement's
+			// per-iteration step and the next body's first-statement step
+			// (its opStep at c-1 is skipped). On a fault between the two
+			// charges, roll the counter back to the first exceeding value —
+			// the exact count the walker reports.
+			v := ireg[in.a] + 1
+			ireg[in.a] = v
+			s0 := ec.steps
+			if v <= ireg[in.b] {
+				ec.steps = s0 + 2
+				if lim := ec.limit.Load(); int64(s0+2) > lim {
+					if int64(s0+1) > lim {
+						ec.steps = s0 + 1
+					}
+					panic(ec.faultCause())
+				}
+				pc = int(in.c)
+			} else {
+				ec.steps = s0 + 1
+				if int64(s0+1) > ec.limit.Load() {
+					panic(ec.faultCause())
+				}
+			}
+		case opRetI:
+			fr.ret = IntV(ireg[in.a])
+			return
+		case opRetF:
+			fr.ret = FloatV(freg[in.a])
+			return
+		case opRetZ:
+			fr.ret = Value{}
+			return
+		case opLdcI:
+			ireg[in.d] = in.imm
+		case opLdcF:
+			freg[in.d] = in.fv
+		case opMovI:
+			ireg[in.d] = ireg[in.a]
+		case opMovF:
+			freg[in.d] = freg[in.a]
+		case opI2F:
+			freg[in.d] = float64(ireg[in.a])
+		case opF2I:
+			ireg[in.d] = int64(freg[in.a])
+		case opLdGI:
+			ireg[in.d] = g.scalars[in.a].I
+		case opLdGF:
+			freg[in.d] = g.scalars[in.a].F
+		case opStGI:
+			g.scalars[in.d] = IntV(ireg[in.a])
+		case opStGF:
+			g.scalars[in.d] = FloatV(freg[in.a])
+		case opAddI:
+			ireg[in.d] = ireg[in.a] + ireg[in.b]
+		case opSubI:
+			ireg[in.d] = ireg[in.a] - ireg[in.b]
+		case opMulI:
+			ireg[in.d] = ireg[in.a] * ireg[in.b]
+		case opDivI:
+			b := ireg[in.b]
+			if b == 0 {
+				rtPanic(file, in.pos, "integer division by zero")
+			}
+			ireg[in.d] = ireg[in.a] / b
+		case opModI:
+			b := ireg[in.b]
+			if b == 0 {
+				rtPanic(file, in.pos, "integer modulo by zero")
+			}
+			ireg[in.d] = ireg[in.a] % b
+		case opNegI:
+			ireg[in.d] = -ireg[in.a]
+		case opAddcI:
+			ireg[in.d] = ireg[in.a] + in.imm
+		case opAddF:
+			freg[in.d] = freg[in.a] + freg[in.b]
+		case opSubF:
+			freg[in.d] = freg[in.a] - freg[in.b]
+		case opMulF:
+			freg[in.d] = freg[in.a] * freg[in.b]
+		case opDivF:
+			freg[in.d] = freg[in.a] / freg[in.b]
+		case opModF:
+			freg[in.d] = math.Mod(freg[in.a], freg[in.b])
+		case opNegF:
+			freg[in.d] = -freg[in.a]
+		case opAddcF:
+			freg[in.d] = freg[in.a] + in.fv
+		case opMath1:
+			x := freg[in.a]
+			switch in.sub {
+			case bcSqrt:
+				freg[in.d] = math.Sqrt(x)
+			case bcFabs:
+				freg[in.d] = math.Abs(x)
+			case bcExp:
+				freg[in.d] = math.Exp(x)
+			case bcLog:
+				freg[in.d] = math.Log(x)
+			case bcFloor:
+				freg[in.d] = math.Floor(x)
+			default:
+				freg[in.d] = math.Ceil(x)
+			}
+		case opPow:
+			freg[in.d] = math.Pow(freg[in.a], freg[in.b])
+		case opNewArr1:
+			fr.arrays[in.c] = NewArray(int(ireg[in.a]))
+		case opNewArr2:
+			fr.arrays[in.c] = NewArray(int(ireg[in.a]), int(ireg[in.b]))
+		case opLdE1:
+			a, off := bcElem1(fr, in, ireg[in.a])
+			freg[in.d] = a.Data[off]
+		case opLdE2:
+			a, off := bcElem2(fr, in, ireg[in.a], ireg[in.b])
+			freg[in.d] = a.Data[off]
+		case opStE1:
+			a, off := bcElem1(fr, in, ireg[in.a])
+			a.Data[off] = freg[in.d]
+		case opStE2:
+			a, off := bcElem2(fr, in, ireg[in.a], ireg[in.b])
+			a.Data[off] = freg[in.d]
+		case opCmE1:
+			a, off := bcElem1(fr, in, ireg[in.a])
+			nv := bcCompound(in.sub, a.Data[off], freg[in.d])
+			a.Data[off] = nv
+			freg[in.e] = nv
+		case opCmE2:
+			a, off := bcElem2(fr, in, ireg[in.a], ireg[in.b])
+			nv := bcCompound(in.sub, a.Data[off], freg[in.d])
+			a.Data[off] = nv
+			freg[in.e] = nv
+		case opIncE1:
+			a, off := bcElem1(fr, in, ireg[in.a])
+			old := a.Data[off]
+			if in.sub == 1 {
+				a.Data[off] = old + 1
+			} else {
+				a.Data[off] = old - 1
+			}
+			freg[in.d] = old
+		case opIncE2:
+			a, off := bcElem2(fr, in, ireg[in.a], ireg[in.b])
+			old := a.Data[off]
+			if in.sub == 1 {
+				a.Data[off] = old + 1
+			} else {
+				a.Data[off] = old - 1
+			}
+			freg[in.d] = old
+		case opProveArr:
+			a := bcArr(fr, in.c)
+			if a == nil || len(a.Dims) != int(in.sub) {
+				pc = int(in.b)
+				continue
+			}
+			ireg[in.d] = int64(a.Dims[0])
+			if in.sub == 2 {
+				ireg[in.e] = int64(a.Dims[1])
+			}
+			dreg[in.a] = a.Data
+		case opProveRng:
+			if v := ireg[in.a]; v < 0 || v >= ireg[in.b] {
+				pc = int(in.c)
+			}
+		case opProveIV:
+			if !affineInRange(ireg[in.a], ireg[in.b], in.imm, int(ireg[in.d])) {
+				pc = int(in.c)
+			}
+		case opLdU0:
+			freg[in.d] = dreg[in.c][ireg[in.a]+in.imm]
+		case opLdU1:
+			freg[in.d] = dreg[in.c][ireg[in.a]+ireg[in.b]+in.imm]
+		case opLdU2:
+			freg[in.d] = dreg[in.c][ireg[in.a]*ireg[in.e]+ireg[in.b]]
+		case opStU0:
+			dreg[in.c][ireg[in.a]+in.imm] = freg[in.d]
+		case opStU1:
+			dreg[in.c][ireg[in.a]+ireg[in.b]+in.imm] = freg[in.d]
+		case opStU2:
+			dreg[in.c][ireg[in.a]*ireg[in.e]+ireg[in.b]] = freg[in.d]
+		case opCmU0:
+			d := dreg[in.c]
+			off := ireg[in.a] + in.imm
+			d[off] = bcCompound(in.sub, d[off], freg[in.d])
+		case opCmU1:
+			d := dreg[in.c]
+			off := ireg[in.a] + ireg[in.b] + in.imm
+			d[off] = bcCompound(in.sub, d[off], freg[in.d])
+		case opCmU2:
+			d := dreg[in.c]
+			off := ireg[in.a]*ireg[in.e] + ireg[in.b]
+			d[off] = bcCompound(in.sub, d[off], freg[in.d])
+		case opLdMul0:
+			freg[in.d] = freg[in.e] * dreg[in.c][ireg[in.a]+in.imm]
+		case opLdMul1:
+			freg[in.d] = freg[in.e] * dreg[in.c][ireg[in.a]+ireg[in.b]+in.imm]
+		case opLdMul2:
+			freg[in.d] = freg[in.imm] * dreg[in.c][ireg[in.a]*ireg[in.e]+ireg[in.b]]
+		// The explicit conversions in the fma superinstructions force
+		// intermediate rounding so Go cannot contract the multiply-add
+		// into a hardware FMA, which would break walker bit-parity.
+		case opFMAAcc0:
+			dreg[in.c][ireg[in.a]+in.imm] += float64(freg[in.d] * freg[in.e])
+		case opFMAAcc1:
+			dreg[in.c][ireg[in.a]+ireg[in.b]+in.imm] += float64(freg[in.d] * freg[in.e])
+		case opFMAAcc2:
+			dreg[in.c][ireg[in.a]*ireg[in.e]+ireg[in.b]] += float64(freg[in.d] * freg[in.imm])
+		case opFMSAcc0:
+			dreg[in.c][ireg[in.a]+in.imm] -= float64(freg[in.d] * freg[in.e])
+		case opFMSAcc1:
+			dreg[in.c][ireg[in.a]+ireg[in.b]+in.imm] -= float64(freg[in.d] * freg[in.e])
+		case opFMSAcc2:
+			dreg[in.c][ireg[in.a]*ireg[in.e]+ireg[in.b]] -= float64(freg[in.d] * freg[in.imm])
+		case opFMAS:
+			freg[in.d] += float64(freg[in.a] * freg[in.b])
+
+		// Fused triples: one dispatch executes the head instruction plus
+		// the two instructions that follow it, verbatim (operands are
+		// read from their original encodings, temp-register writes
+		// included), then skips them. Installed by fusePeephole, which
+		// guarantees no branch targets the absorbed slots.
+		case opF3MulDot: // ldmul1, ldu2, fmaacc0
+			in2, in3 := &code[pc], &code[pc+1]
+			pc += 2
+			freg[in.d] = freg[in.e] * dreg[in.c][ireg[in.a]+ireg[in.b]+in.imm]
+			freg[in2.d] = dreg[in2.c][ireg[in2.a]*ireg[in2.e]+ireg[in2.b]]
+			dreg[in3.c][ireg[in3.a]+in3.imm] += float64(freg[in3.d] * freg[in3.e])
+		case opF3RowCol: // ldu1, ldu2, fmaacc0
+			in2, in3 := &code[pc], &code[pc+1]
+			pc += 2
+			freg[in.d] = dreg[in.c][ireg[in.a]+ireg[in.b]+in.imm]
+			freg[in2.d] = dreg[in2.c][ireg[in2.a]*ireg[in2.e]+ireg[in2.b]]
+			dreg[in3.c][ireg[in3.a]+in3.imm] += float64(freg[in3.d] * freg[in3.e])
+		case opF3RowVec: // ldu1, ldu0, fmaacc0
+			in2, in3 := &code[pc], &code[pc+1]
+			pc += 2
+			freg[in.d] = dreg[in.c][ireg[in.a]+ireg[in.b]+in.imm]
+			freg[in2.d] = dreg[in2.c][ireg[in2.a]+in2.imm]
+			dreg[in3.c][ireg[in3.a]+in3.imm] += float64(freg[in3.d] * freg[in3.e])
+		case opF3ColVec: // ldu2, ldu0, fmaacc0
+			in2, in3 := &code[pc], &code[pc+1]
+			pc += 2
+			freg[in.d] = dreg[in.c][ireg[in.a]*ireg[in.e]+ireg[in.b]]
+			freg[in2.d] = dreg[in2.c][ireg[in2.a]+in2.imm]
+			dreg[in3.c][ireg[in3.a]+in3.imm] += float64(freg[in3.d] * freg[in3.e])
+		case opF3RowVecS: // ldu1, ldu0, fmsacc0
+			in2, in3 := &code[pc], &code[pc+1]
+			pc += 2
+			freg[in.d] = dreg[in.c][ireg[in.a]+ireg[in.b]+in.imm]
+			freg[in2.d] = dreg[in2.c][ireg[in2.a]+in2.imm]
+			dreg[in3.c][ireg[in3.a]+in3.imm] -= float64(freg[in3.d] * freg[in3.e])
+		case opF3RowRowS: // ldu1, ldu1, fmsacc0
+			in2, in3 := &code[pc], &code[pc+1]
+			pc += 2
+			freg[in.d] = dreg[in.c][ireg[in.a]+ireg[in.b]+in.imm]
+			freg[in2.d] = dreg[in2.c][ireg[in2.a]+ireg[in2.b]+in2.imm]
+			dreg[in3.c][ireg[in3.a]+in3.imm] -= float64(freg[in3.d] * freg[in3.e])
+		default:
+			panic("cminor: internal: unknown bytecode op")
+		}
+	}
+}

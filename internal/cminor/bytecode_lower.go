@@ -1,0 +1,1854 @@
+package cminor
+
+import "math"
+
+// Lowering of typed, resolved functions to flat bytecode (see
+// bytecode.go for the ISA). The lowerer is a one-pass AST walk that
+// mirrors the closure compiler's semantics statement for statement:
+// the same step-budget charges, the same evaluation order, the same
+// positioned faults. Anything it cannot lower with those guarantees —
+// user calls, pointer cells, dynamic kinds, rank>2 arrays — bails by
+// panicking bcBail, and the function keeps its closure-compiled body.
+//
+// Scalar slot s lives in ireg[s] or freg[s] according to its static
+// kind; temporaries are allocated monotonically above the slot block
+// and never reused, so a register read always observes the value its
+// producing instruction computed. Where the closure backend captures
+// an operand's value before a later subexpression may overwrite it,
+// the lowerer copies slot registers into temporaries (protectI /
+// protectF) to preserve left-to-right capture semantics.
+//
+// Counted loops reuse the loop optimizer's recognition (countedLoop's
+// shape checks, analyzeLoopBody, invariant, ivAffine) and lower to a
+// two-version body: a preamble of side-effect-free proof opcodes
+// validates every classified subscript against the live array
+// dimensions, entering the fast body (unchecked loads/stores,
+// superinstructions) on success and the fully-checked safe body —
+// bit-exact with the unoptimized pipeline, faults included — on
+// failure.
+
+// bcBail is the panic sentinel lowerBCFunc recovers: this function
+// cannot be lowered, keep the closure fallback.
+type bcBail struct{}
+
+// bcMaxLoopDepth bounds counted-loop versioning: each level emits its
+// body twice (fast + safe), so code size grows as 2^depth. Deeper
+// levels lower as generic loops with checked accesses — step counts
+// are identical either way, so the cap is semantics-neutral.
+const bcMaxLoopDepth = 4
+
+// bcPatch is a forward reference from an emitted instruction operand
+// to a not-yet-bound label.
+type bcPatch struct {
+	at    int
+	field uint8 // 0=a, 1=b, 2=c
+	lab   int
+}
+
+// bcDims names the registers holding an array's proven dimensions and
+// the data register its backing store is hoisted into.
+type bcDims struct {
+	d0, d1 int32
+	ds     int32
+}
+
+// bcLoop is one active counted-loop context during lowering.
+type bcLoop struct {
+	lc        *loopCtx
+	ivSlot    int
+	ivReg     int32
+	lastReg   int32
+	fast      bool // emitting the fast (proven) body version
+	safeLab   int  // proof failures jump here
+	proofs    []func()
+	arrCache  map[int64]bcDims
+	addrCache map[bcAddrKey]bcAddr
+}
+
+// bcAddrKey caches classified addresses whose invariant subscripts are
+// plain scalar variables: two occurrences with the same (array, slot,
+// offset) provably address the same element every iteration, so they
+// share one register set and one proof — and, crucially, compare equal,
+// which is what lets "x[i] = x[i] + a*b" fuse into an fma-accumulate.
+type bcAddrKey struct {
+	shape uint8 // 1=[inv], 2=[inv][iv+off], 3=[iv+off][inv]
+	arr   int32
+	kind  VarKind
+	slot  int
+	off   int64
+}
+
+func (lp *bcLoop) addProof(f func()) { lp.proofs = append(lp.proofs, f) }
+
+// dims returns (allocating and registering the opProveArr proof on
+// first use) the dimension and data registers of array arr at the
+// given rank.
+func (lp *bcLoop) dims(bl *bcLower, arr int32, rank int) bcDims {
+	key := int64(arr)<<2 | int64(rank)
+	if d, ok := lp.arrCache[key]; ok {
+		return d
+	}
+	d := bcDims{d0: bl.newI(), ds: bl.newD()}
+	if rank == 2 {
+		d.d1 = bl.newI()
+	}
+	lp.arrCache[key] = d
+	lp.addProof(func() {
+		in := instr{op: opProveArr, sub: uint8(rank), c: arr, a: d.ds, d: d.d0}
+		if rank == 2 {
+			in.e = d.d1
+		}
+		bl.patch(bl.emit(in), 1, lp.safeLab)
+	})
+	return d
+}
+
+// bcAddr is a classified unchecked effective address over a hoisted
+// data register. Comparable, so a store address can be matched against
+// a load address for the fma-accumulate fusion.
+type bcAddr struct {
+	mode uint8
+	a    int32
+	b    int32
+	e    int32
+	imm  int64
+	ds   int32
+}
+
+// bcLower lowers one function.
+type bcLower struct {
+	ca      *compiler // analysis-only compiler (refOf, kinds, loop facts)
+	fi      *FuncInfo
+	types   *fnTypes
+	code    []instr
+	nI, nF  int
+	nD      int
+	labels  []int
+	patches []bcPatch
+	loops   []*bcLoop
+	mutated map[int32]bool
+	// Constant pool: ldc instructions hoisted to function entry so a
+	// literal inside a hot loop costs zero dispatches per iteration.
+	// finish() prepends them and shifts every code offset.
+	consts  []instr
+	constIs map[int64]int32
+	constFs map[uint64]int32
+}
+
+// lowerBCFunc lowers one function to bytecode, or returns nil when it
+// must keep its closure fallback.
+func lowerBCFunc(p *Program, name string, cf *compiledFunc) (bc *bcFunc) {
+	fi := cf.info
+	if fi.NumCells > 0 || fi.UserCalls > 0 {
+		return nil
+	}
+	types := p.ti.funcs[name]
+	if types == nil {
+		return nil
+	}
+	for _, k := range types.scalars {
+		if k == kDyn {
+			return nil
+		}
+	}
+	bl := &bcLower{
+		ca:      &compiler{prog: p, types: types, info: p.ti, opt: O2},
+		fi:      fi,
+		types:   types,
+		nI:      fi.NumScalars,
+		nF:      fi.NumScalars,
+		mutated: map[int32]bool{},
+		constIs: map[int64]int32{},
+		constFs: map[uint64]int32{},
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(bcBail); ok {
+				bc = nil
+				return
+			}
+			panic(r)
+		}
+	}()
+	// The function body is a block executed without its own step charge
+	// (matching compiledFunc.body = compiler.block(Body)).
+	for _, s := range fi.Decl.Body.Stmts {
+		bl.stmt(s)
+	}
+	bl.emit(instr{op: opRetZ})
+	bl.finish()
+	var params []bcParam
+	for _, pr := range fi.Params {
+		if pr.Kind != VarScalar {
+			continue
+		}
+		params = append(params, bcParam{
+			slot:    int32(pr.Slot),
+			isInt:   types.scalars[pr.Slot] == kInt,
+			mutated: bl.mutated[int32(pr.Slot)],
+		})
+	}
+	return &bcFunc{name: name, code: bl.code, nI: bl.nI, nF: bl.nF, nD: bl.nD, params: params}
+}
+
+// ---- emission helpers ----
+
+func (bl *bcLower) bail() { panic(bcBail{}) }
+
+func (bl *bcLower) emit(in instr) int {
+	bl.code = append(bl.code, in)
+	return len(bl.code) - 1
+}
+
+func (bl *bcLower) newI() int32 { r := bl.nI; bl.nI++; return int32(r) }
+func (bl *bcLower) newF() int32 { r := bl.nF; bl.nF++; return int32(r) }
+func (bl *bcLower) newD() int32 { r := bl.nD; bl.nD++; return int32(r) }
+
+// constI returns a register holding the int constant v, materialized
+// once in the function-entry constant pool.
+func (bl *bcLower) constI(v int64) int32 {
+	if r, ok := bl.constIs[v]; ok {
+		return r
+	}
+	r := bl.newI()
+	bl.consts = append(bl.consts, instr{op: opLdcI, d: r, imm: v})
+	bl.constIs[v] = r
+	return r
+}
+
+// constF is constI for float constants (keyed by bit pattern, so -0.0
+// and NaN payloads stay distinct).
+func (bl *bcLower) constF(v float64) int32 {
+	key := math.Float64bits(v)
+	if r, ok := bl.constFs[key]; ok {
+		return r
+	}
+	r := bl.newF()
+	bl.consts = append(bl.consts, instr{op: opLdcF, d: r, fv: v})
+	bl.constFs[key] = r
+	return r
+}
+
+func (bl *bcLower) newLabel() int {
+	bl.labels = append(bl.labels, -1)
+	return len(bl.labels) - 1
+}
+
+func (bl *bcLower) bind(lab int) { bl.labels[lab] = len(bl.code) }
+
+func (bl *bcLower) patch(at int, field uint8, lab int) {
+	bl.patches = append(bl.patches, bcPatch{at: at, field: field, lab: lab})
+}
+
+func (bl *bcLower) jmp(lab int) { bl.patch(bl.emit(instr{op: opJmp}), 0, lab) }
+
+func (bl *bcLower) step(p Pos) { bl.emit(instr{op: opStep, pos: p}) }
+
+// bcFuseTable maps a straight-line instruction triple to the fused
+// superinstruction that executes all three in one dispatch. The shapes
+// are the hot Polybench inner-loop bodies: dense multiply-accumulate
+// (gemm/2mm), matrix-vector products (atax/mvt), and the subtracting
+// solves (trisolv/cholesky).
+var bcFuseTable = map[[3]bcOp]bcOp{
+	{opLdMul1, opLdU2, opFMAAcc0}: opF3MulDot,
+	{opLdU1, opLdU2, opFMAAcc0}:   opF3RowCol,
+	{opLdU1, opLdU0, opFMAAcc0}:   opF3RowVec,
+	{opLdU2, opLdU0, opFMAAcc0}:   opF3ColVec,
+	{opLdU1, opLdU0, opFMSAcc0}:   opF3RowVecS,
+	{opLdU1, opLdU1, opFMSAcc0}:   opF3RowRowS,
+}
+
+// fusePeephole rewrites each matching triple's head opcode to the
+// fused form; the two absorbed instructions stay in place as operand
+// banks the dispatch loop skips. Because the fused case re-executes
+// the constituents' exact semantics from their original encodings,
+// the only legality condition is control flow: no label may target an
+// absorbed slot (patches only ever point at label-carrying branch
+// instructions, never at loads or accumulates, so labels are the
+// complete set of entry points).
+func (bl *bcLower) fusePeephole() {
+	if len(bl.code) < 3 {
+		return
+	}
+	tgt := make([]bool, len(bl.code)+1)
+	for _, t := range bl.labels {
+		if t >= 0 && t < len(tgt) {
+			tgt[t] = true
+		}
+	}
+	for k := 0; k+2 < len(bl.code); k++ {
+		key := [3]bcOp{bl.code[k].op, bl.code[k+1].op, bl.code[k+2].op}
+		f, ok := bcFuseTable[key]
+		if !ok || tgt[k+1] || tgt[k+2] {
+			continue
+		}
+		bl.code[k].op = f
+		k += 2
+	}
+}
+
+func (bl *bcLower) finish() {
+	bl.fusePeephole()
+	if n := len(bl.consts); n > 0 {
+		bl.code = append(append([]instr{}, bl.consts...), bl.code...)
+		for i := range bl.labels {
+			bl.labels[i] += n
+		}
+		for i := range bl.patches {
+			bl.patches[i].at += n
+		}
+	}
+	for _, pt := range bl.patches {
+		t := bl.labels[pt.lab]
+		if t < 0 {
+			panic("cminor: internal: unbound bytecode label")
+		}
+		in := &bl.code[pt.at]
+		switch pt.field {
+		case 0:
+			in.a = int32(t)
+		case 1:
+			in.b = int32(t)
+		default:
+			in.c = int32(t)
+		}
+	}
+}
+
+func (bl *bcLower) innermost() *bcLoop {
+	if len(bl.loops) == 0 {
+		return nil
+	}
+	return bl.loops[len(bl.loops)-1]
+}
+
+// protectI copies a scalar-slot register to a temporary when a later
+// sibling expression could overwrite the slot before the captured
+// value is consumed (left-to-right evaluation parity). Temporaries are
+// single-assignment and need no protection.
+func (bl *bcLower) protectI(r int32, later ...Expr) int32 {
+	if int(r) >= bl.fi.NumScalars || !exprWritesAny(later...) {
+		return r
+	}
+	t := bl.newI()
+	bl.emit(instr{op: opMovI, d: t, a: r})
+	return t
+}
+
+func (bl *bcLower) protectF(r int32, later ...Expr) int32 {
+	if int(r) >= bl.fi.NumScalars || !exprWritesAny(later...) {
+		return r
+	}
+	t := bl.newF()
+	bl.emit(instr{op: opMovF, d: t, a: r})
+	return t
+}
+
+// exprWritesAny reports whether any of the expressions contains an
+// assignment or ++/-- (user calls cannot appear in lowered functions).
+func exprWritesAny(es ...Expr) bool {
+	for _, e := range es {
+		if e == nil {
+			continue
+		}
+		w := false
+		Walk(e, func(n Node) bool {
+			switch n.(type) {
+			case *AssignExpr, *IncDecExpr:
+				w = true
+				return false
+			}
+			return true
+		})
+		if w {
+			return true
+		}
+	}
+	return false
+}
+
+// iArith builds an int ALU instruction; div/mod carry the fault
+// position.
+func (bl *bcLower) iArith(base TokenKind, d, a, b int32, p Pos) instr {
+	switch base {
+	case PLUS:
+		return instr{op: opAddI, d: d, a: a, b: b}
+	case MINUS:
+		return instr{op: opSubI, d: d, a: a, b: b}
+	case STAR:
+		return instr{op: opMulI, d: d, a: a, b: b}
+	case SLASH:
+		return instr{op: opDivI, d: d, a: a, b: b, pos: p}
+	case PERCENT:
+		return instr{op: opModI, d: d, a: a, b: b, pos: p}
+	}
+	bl.bail()
+	return instr{}
+}
+
+func (bl *bcLower) fArith(base TokenKind, d, a, b int32) instr {
+	switch base {
+	case PLUS:
+		return instr{op: opAddF, d: d, a: a, b: b}
+	case MINUS:
+		return instr{op: opSubF, d: d, a: a, b: b}
+	case STAR:
+		return instr{op: opMulF, d: d, a: a, b: b}
+	case SLASH:
+		return instr{op: opDivF, d: d, a: a, b: b}
+	case PERCENT:
+		return instr{op: opModF, d: d, a: a, b: b}
+	}
+	bl.bail()
+	return instr{}
+}
+
+func bcArithCode(base TokenKind) uint8 {
+	switch base {
+	case PLUS:
+		return bcOpAdd
+	case MINUS:
+		return bcOpSub
+	case STAR:
+		return bcOpMul
+	case SLASH:
+		return bcOpDiv
+	default:
+		return bcOpMod
+	}
+}
+
+// ---- statements ----
+
+func (bl *bcLower) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *Block:
+		bl.step(s.P)
+		for _, st := range s.Stmts {
+			bl.stmt(st)
+		}
+	case *DeclStmt:
+		bl.declStmt(s)
+	case *ExprStmt:
+		bl.step(s.P)
+		bl.exprVoid(s.X)
+	case *ForStmt:
+		bl.forStmt(s)
+	case *WhileStmt:
+		bl.step(s.P)
+		head := bl.newLabel()
+		end := bl.newLabel()
+		bl.bind(head)
+		bl.branchBool(s.Cond, end, false)
+		for _, st := range s.Body.Stmts {
+			bl.stmt(st)
+		}
+		bl.step(s.P)
+		bl.jmp(head)
+		bl.bind(end)
+	case *IfStmt:
+		bl.step(s.P)
+		if s.Else == nil {
+			end := bl.newLabel()
+			bl.branchBool(s.Cond, end, false)
+			for _, st := range s.Then.Stmts {
+				bl.stmt(st)
+			}
+			bl.bind(end)
+			return
+		}
+		els := bl.newLabel()
+		end := bl.newLabel()
+		bl.branchBool(s.Cond, els, false)
+		for _, st := range s.Then.Stmts {
+			bl.stmt(st)
+		}
+		bl.jmp(end)
+		bl.bind(els)
+		bl.stmt(s.Else)
+		bl.bind(end)
+	case *ReturnStmt:
+		bl.step(s.P)
+		if s.X == nil {
+			bl.emit(instr{op: opRetZ})
+			return
+		}
+		if v, ok := constEval(s.X); ok {
+			if v.IsInt {
+				bl.emit(instr{op: opRetI, a: bl.constI(v.I)})
+			} else {
+				bl.emit(instr{op: opRetF, a: bl.constF(v.F)})
+			}
+			return
+		}
+		switch bl.ca.kindOf(s.X) {
+		case kInt:
+			bl.emit(instr{op: opRetI, a: bl.lowerI(s.X)})
+		case kFloat:
+			bl.emit(instr{op: opRetF, a: bl.lowerF(s.X)})
+		default:
+			bl.bail()
+		}
+	case *PragmaStmt:
+		bl.step(s.P)
+	default:
+		bl.bail()
+	}
+}
+
+func (bl *bcLower) declStmt(s *DeclStmt) {
+	bl.step(s.P)
+	ref := bl.ca.declRef(s)
+	if s.Type.IsArray() {
+		if ref.Kind != VarArray || len(s.Type.Dims) > 2 {
+			bl.bail()
+		}
+		slot := int32(ref.Slot)
+		dims := make([]int32, len(s.Type.Dims))
+		for i, dx := range s.Type.Dims {
+			dims[i] = bl.asI(dx)
+			if i+1 < len(s.Type.Dims) {
+				dims[i] = bl.protectI(dims[i], s.Type.Dims[i+1:]...)
+			}
+		}
+		if len(dims) == 1 {
+			bl.emit(instr{op: opNewArr1, a: dims[0], c: slot})
+		} else {
+			bl.emit(instr{op: opNewArr2, a: dims[0], b: dims[1], c: slot})
+		}
+		return
+	}
+	if ref.Kind != VarScalar {
+		bl.bail()
+	}
+	slot := int32(ref.Slot)
+	bl.mutated[slot] = true
+	// Declarations normalize to the declared kind (the closure backend's
+	// C initialisation conversion).
+	if s.Type.Kind == Int {
+		if bl.types.scalars[ref.Slot] != kInt {
+			bl.bail()
+		}
+		if s.Init == nil {
+			bl.emit(instr{op: opLdcI, d: slot})
+			return
+		}
+		r := bl.asI(s.Init)
+		if r != slot {
+			bl.emit(instr{op: opMovI, d: slot, a: r})
+		}
+		return
+	}
+	if bl.types.scalars[ref.Slot] != kFloat {
+		bl.bail()
+	}
+	if s.Init == nil {
+		bl.emit(instr{op: opLdcF, d: slot})
+		return
+	}
+	r := bl.asF(s.Init)
+	if r != slot {
+		bl.emit(instr{op: opMovF, d: slot, a: r})
+	}
+}
+
+func (bl *bcLower) forStmt(s *ForStmt) {
+	if bl.countedFor(s) {
+		return
+	}
+	bl.step(s.P)
+	if s.Init != nil {
+		bl.stmt(s.Init)
+	}
+	head := bl.newLabel()
+	end := bl.newLabel()
+	bl.bind(head)
+	if s.Cond != nil {
+		bl.branchBool(s.Cond, end, false)
+	}
+	for _, st := range s.Body.Stmts {
+		bl.stmt(st)
+	}
+	if s.Post != nil {
+		bl.exprVoid(s.Post)
+	}
+	bl.step(s.P)
+	bl.jmp(head)
+	bl.bind(end)
+}
+
+// countedFor recognizes the counted-loop shape — the same checks as
+// loopopt's countedLoop — and emits the versioned loop on success.
+func (bl *bcLower) countedFor(s *ForStmt) bool {
+	if s.Init == nil || s.Cond == nil || s.Post == nil {
+		return false
+	}
+	if len(bl.loops) >= bcMaxLoopDepth {
+		return false
+	}
+	c := bl.ca
+	var ivRef VarRef
+	var lo Expr // nil means 0
+	switch init := s.Init.(type) {
+	case *ExprStmt:
+		a, ok := init.X.(*AssignExpr)
+		if !ok || a.Op != ASSIGN {
+			return false
+		}
+		id, ok := stripParens(a.LHS).(*Ident)
+		if !ok {
+			return false
+		}
+		ref := c.refOf(id)
+		if ref.Kind != VarScalar {
+			return false
+		}
+		ivRef, lo = ref, a.RHS
+	case *DeclStmt:
+		ref := c.declRef(init)
+		if ref.Kind != VarScalar || init.Type.Kind != Int {
+			return false
+		}
+		ivRef, lo = ref, init.Init
+	default:
+		return false
+	}
+	if c.varKind(ivRef) != kInt {
+		return false
+	}
+	cond, ok := stripParens(s.Cond).(*BinExpr)
+	if !ok || (cond.Op != LT && cond.Op != LEQ) {
+		return false
+	}
+	cid, ok := stripParens(cond.X).(*Ident)
+	if !ok || !c.isIVIdent(cid, ivRef.Slot) {
+		return false
+	}
+	hi := cond.Y
+	hk := c.kindOf(hi)
+	c.constKind(hi, &hk)
+	if hk != kInt {
+		return false
+	}
+	if !c.isUnitStep(s.Post, ivRef.Slot) {
+		return false
+	}
+	lc := c.analyzeLoopBody(s.Body, ivRef.Slot)
+	if lc == nil || lc.modScalars[ivRef.Slot] {
+		return false
+	}
+	if !c.invariant(hi, lc) {
+		return false
+	}
+	bl.emitCountedLoop(s, ivRef, lo, hi, cond.Op == LT, lc)
+	return true
+}
+
+// emitCountedLoop lowers a recognized counted loop. Step parity with
+// the closure backend (and walker): opStep2 charges the for statement
+// and its init clause; opLoopNext charges one step per iteration after
+// incrementing the induction register — the exact counter state the
+// closure's fr.ec.step() sequence produces, fault-time values
+// included.
+func (bl *bcLower) emitCountedLoop(s *ForStmt, ivRef VarRef, lo, hi Expr, strict bool, lc *loopCtx) {
+	ivSlot := int32(ivRef.Slot)
+	bl.mutated[ivSlot] = true
+	bl.emit(instr{op: opStep2, pos: s.P})
+	if lo == nil {
+		bl.emit(instr{op: opLdcI, d: ivSlot})
+	} else if r := bl.asI(lo); r != ivSlot {
+		bl.emit(instr{op: opMovI, d: ivSlot, a: r})
+	}
+	last := bl.newI()
+	if rh := bl.asI(hi); rh != last {
+		bl.emit(instr{op: opMovI, d: last, a: rh})
+	}
+	exit := bl.newLabel()
+	if strict {
+		// iv < hi becomes iv <= hi-1; MinInt64 cannot be decremented, and
+		// the loop is empty in that case anyway.
+		bl.patch(bl.emit(instr{op: opStrictDec, a: last}), 1, exit)
+	}
+	bl.patch(bl.emit(instr{op: opBrCI, sub: bcGT, a: ivSlot, b: last}), 2, exit)
+
+	loop := &bcLoop{
+		lc:        lc,
+		ivSlot:    ivRef.Slot,
+		ivReg:     ivSlot,
+		lastReg:   last,
+		arrCache:  map[int64]bcDims{},
+		addrCache: map[bcAddrKey]bcAddr{},
+	}
+	fastL := bl.newLabel()
+	safeL := bl.newLabel()
+	proofsL := bl.newLabel()
+	loop.safeLab = safeL
+	bl.jmp(proofsL)
+
+	bl.bind(fastL)
+	bodyStart := len(bl.code)
+	loop.fast = true
+	bl.loops = append(bl.loops, loop)
+	for _, st := range s.Body.Stmts {
+		bl.stmt(st)
+	}
+	bl.loops = bl.loops[:len(bl.loops)-1]
+	bl.backEdge(ivSlot, last, bodyStart, fastL, s.P)
+	bl.jmp(exit)
+
+	if len(loop.proofs) == 0 {
+		// No classified accesses: the "fast" body is already fully
+		// checked. The safe version would be identical, so skip it.
+		bl.bind(proofsL)
+		bl.bind(safeL)
+		bl.jmp(fastL)
+	} else {
+		bl.bind(safeL)
+		safeStart := len(bl.code)
+		loop.fast = false
+		bl.loops = append(bl.loops, loop)
+		for _, st := range s.Body.Stmts {
+			bl.stmt(st)
+		}
+		bl.loops = bl.loops[:len(bl.loops)-1]
+		bl.backEdge(ivSlot, last, safeStart, safeL, s.P)
+		bl.jmp(exit)
+		bl.bind(proofsL)
+		for _, pf := range loop.proofs {
+			pf()
+		}
+		bl.jmp(fastL)
+	}
+	bl.bind(exit)
+}
+
+// backEdge closes a counted-loop body. When the body opens with the
+// usual single-step charge, the back edge fuses it into opLoopNext2 —
+// one budget check covers both the iteration charge and the next
+// body's leading step, and the jump re-enters just past the opStep.
+// Bodies that open with anything else (opStep2 from a nested for,
+// or nothing at all) keep the plain opLoopNext.
+func (bl *bcLower) backEdge(iv, last int32, bodyStart, bodyLab int, p Pos) {
+	if bodyStart < len(bl.code) && bl.code[bodyStart].op == opStep {
+		lab := bl.newLabel()
+		bl.labels[lab] = bodyStart + 1
+		bl.patch(bl.emit(instr{op: opLoopNext2, a: iv, b: last, pos: p}), 2, lab)
+		return
+	}
+	bl.patch(bl.emit(instr{op: opLoopNext, a: iv, b: last, pos: p}), 2, bodyLab)
+}
+
+// ---- unchecked-access classification ----
+
+// classifyFast classifies a subscript chain against the innermost
+// counted loop's fast body, registering the preamble proofs that make
+// the unchecked address valid for every iteration. Returns ok=false
+// when the access must stay checked.
+func (bl *bcLower) classifyFast(root *Ident, subs []Expr) (bcAddr, bool) {
+	loop := bl.innermost()
+	if loop == nil || !loop.fast || len(subs) < 1 || len(subs) > 2 {
+		return bcAddr{}, false
+	}
+	c := bl.ca
+	lc := loop.lc
+	ref := c.refOf(root)
+	var arr int32
+	switch ref.Kind {
+	case VarArray:
+		// Local arrays declared inside the body rebind their slot each
+		// iteration; the preamble proof would validate a stale binding.
+		if lc.declArrays[ref.Slot] {
+			return bcAddr{}, false
+		}
+		arr = int32(ref.Slot)
+	case VarGlobalArray:
+		arr = ^int32(ref.Slot)
+	default:
+		return bcAddr{}, false
+	}
+	type subClass struct {
+		iv  bool
+		off int64
+	}
+	cls := make([]subClass, len(subs))
+	for i, sx := range subs {
+		if off, ok := c.ivAffine(sx, loop.ivSlot); ok {
+			cls[i] = subClass{iv: true, off: off}
+			continue
+		}
+		if !c.invariant(sx, lc) {
+			return bcAddr{}, false
+		}
+		k := c.kindOf(sx)
+		c.constKind(sx, &k)
+		if k == kDyn {
+			return bcAddr{}, false
+		}
+	}
+	if len(subs) == 1 {
+		d := loop.dims(bl, arr, 1)
+		if cls[0].iv {
+			off := cls[0].off
+			loop.addProof(func() {
+				bl.patch(bl.emit(instr{op: opProveIV, a: loop.ivReg, b: loop.lastReg, imm: off, d: d.d0}), 2, loop.safeLab)
+			})
+			return bcAddr{mode: bcMode0, a: loop.ivReg, imm: off, ds: d.ds}, true
+		}
+		key, cacheable := bl.invKey(1, arr, subs[0], 0)
+		if cacheable {
+			if a, ok := loop.addrCache[key]; ok {
+				return a, true
+			}
+		}
+		rs := bl.newI()
+		sx := subs[0]
+		loop.addProof(func() {
+			r := bl.asI(sx)
+			bl.emit(instr{op: opMovI, d: rs, a: r})
+			bl.patch(bl.emit(instr{op: opProveRng, a: rs, b: d.d0}), 2, loop.safeLab)
+		})
+		a := bcAddr{mode: bcMode0, a: rs, ds: d.ds}
+		if cacheable {
+			loop.addrCache[key] = a
+		}
+		return a, true
+	}
+	d := loop.dims(bl, arr, 2)
+	switch {
+	case !cls[0].iv && cls[1].iv:
+		// A[inv][iv+off]: row*d1 hoisted to the preamble.
+		off := cls[1].off
+		key, cacheable := bl.invKey(2, arr, subs[0], off)
+		if cacheable {
+			if a, ok := loop.addrCache[key]; ok {
+				return a, true
+			}
+		}
+		rBase := bl.newI()
+		sx := subs[0]
+		loop.addProof(func() {
+			r := bl.asI(sx)
+			bl.emit(instr{op: opMovI, d: rBase, a: r})
+			bl.patch(bl.emit(instr{op: opProveRng, a: rBase, b: d.d0}), 2, loop.safeLab)
+			bl.emit(instr{op: opMulI, d: rBase, a: rBase, b: d.d1})
+			bl.patch(bl.emit(instr{op: opProveIV, a: loop.ivReg, b: loop.lastReg, imm: off, d: d.d1}), 2, loop.safeLab)
+		})
+		a := bcAddr{mode: bcMode1, a: rBase, b: loop.ivReg, imm: off, ds: d.ds}
+		if cacheable {
+			loop.addrCache[key] = a
+		}
+		return a, true
+	case cls[0].iv && !cls[1].iv:
+		// A[iv+offR][inv]: ea = iv*d1 + (col + offR*d1). The decomposed
+		// sum is congruent mod 2^64 to the proven in-range flat offset,
+		// so any intermediate wrapping cancels.
+		offR := cls[0].off
+		key, cacheable := bl.invKey(3, arr, subs[1], offR)
+		if cacheable {
+			if a, ok := loop.addrCache[key]; ok {
+				return a, true
+			}
+		}
+		rAdj := bl.newI()
+		sx := subs[1]
+		loop.addProof(func() {
+			rc := bl.asI(sx)
+			bl.emit(instr{op: opMovI, d: rAdj, a: rc})
+			bl.patch(bl.emit(instr{op: opProveRng, a: rAdj, b: d.d1}), 2, loop.safeLab)
+			bl.patch(bl.emit(instr{op: opProveIV, a: loop.ivReg, b: loop.lastReg, imm: offR, d: d.d0}), 2, loop.safeLab)
+			if offR != 0 {
+				t := bl.newI()
+				bl.emit(instr{op: opLdcI, d: t, imm: offR})
+				bl.emit(instr{op: opMulI, d: t, a: t, b: d.d1})
+				bl.emit(instr{op: opAddI, d: rAdj, a: rAdj, b: t})
+			}
+		})
+		a := bcAddr{mode: bcMode2, a: loop.ivReg, e: d.d1, b: rAdj, ds: d.ds}
+		if cacheable {
+			loop.addrCache[key] = a
+		}
+		return a, true
+	case cls[0].iv && cls[1].iv:
+		// Diagonal A[iv+off0][iv+off1]: ea = iv*(d1+1) + off0*d1 + off1.
+		rStride := bl.newI()
+		rAdj := bl.newI()
+		off0, off1 := cls[0].off, cls[1].off
+		loop.addProof(func() {
+			bl.patch(bl.emit(instr{op: opProveIV, a: loop.ivReg, b: loop.lastReg, imm: off0, d: d.d0}), 2, loop.safeLab)
+			bl.patch(bl.emit(instr{op: opProveIV, a: loop.ivReg, b: loop.lastReg, imm: off1, d: d.d1}), 2, loop.safeLab)
+			bl.emit(instr{op: opAddcI, d: rStride, a: d.d1, imm: 1})
+			bl.emit(instr{op: opLdcI, d: rAdj, imm: off0})
+			bl.emit(instr{op: opMulI, d: rAdj, a: rAdj, b: d.d1})
+			bl.emit(instr{op: opAddcI, d: rAdj, a: rAdj, imm: off1})
+		})
+		return bcAddr{mode: bcMode2, a: loop.ivReg, e: rStride, b: rAdj, ds: d.ds}, true
+	default:
+		// A[inv][inv]: the whole flat offset is loop-invariant.
+		rOff := bl.newI()
+		s0, s1 := subs[0], subs[1]
+		loop.addProof(func() {
+			rr := bl.asI(s0)
+			bl.emit(instr{op: opMovI, d: rOff, a: rr})
+			bl.patch(bl.emit(instr{op: opProveRng, a: rOff, b: d.d0}), 2, loop.safeLab)
+			rc := bl.asI(s1)
+			rc2 := bl.newI()
+			bl.emit(instr{op: opMovI, d: rc2, a: rc})
+			bl.patch(bl.emit(instr{op: opProveRng, a: rc2, b: d.d1}), 2, loop.safeLab)
+			bl.emit(instr{op: opMulI, d: rOff, a: rOff, b: d.d1})
+			bl.emit(instr{op: opAddI, d: rOff, a: rOff, b: rc2})
+		})
+		return bcAddr{mode: bcMode0, a: rOff, ds: d.ds}, true
+	}
+}
+
+// invKey builds the address-cache key for an invariant subscript when
+// it is a plain scalar variable (possibly parenthesized): its value is
+// fixed for the whole loop, so occurrences with equal (array, slot,
+// offset) address the same element. Other invariant expressions are
+// not cached — proving two of them equivalent would need a structural
+// comparison the lowerer does not attempt.
+func (bl *bcLower) invKey(shape uint8, arr int32, sx Expr, off int64) (bcAddrKey, bool) {
+	id, ok := stripParens(sx).(*Ident)
+	if !ok {
+		return bcAddrKey{}, false
+	}
+	ref := bl.ca.refOf(id)
+	if ref.Kind != VarScalar && ref.Kind != VarGlobalScalar {
+		return bcAddrKey{}, false
+	}
+	return bcAddrKey{shape: shape, arr: arr, kind: ref.Kind, slot: ref.Slot, off: off}, true
+}
+
+// emitU emits one unchecked access instruction at a classified address;
+// group is the mode-0 opcode of a *0/*1/*2 group.
+func (bl *bcLower) emitU(group bcOp, addr bcAddr, sub uint8, d int32, pos Pos) {
+	bl.emit(instr{op: group + bcOp(addr.mode), sub: sub, a: addr.a, b: addr.b,
+		c: addr.ds, d: d, e: addr.e, imm: addr.imm, pos: pos})
+}
+
+// emitAcc emits a multiply-accumulate superinstruction dreg[ea] ±=
+// float64(rx*ry); group is opFMAAcc0 (add) or opFMSAcc0 (subtract).
+// Mode-2 addresses use e for the row stride, so ry rides in imm there
+// (free: mode-2 immediates are folded into b).
+func (bl *bcLower) emitAcc(group bcOp, addr bcAddr, rx, ry int32, pos Pos) {
+	in := instr{op: group + bcOp(addr.mode), a: addr.a, b: addr.b,
+		c: addr.ds, d: rx, e: addr.e, imm: addr.imm, pos: pos}
+	if addr.mode == bcMode2 {
+		in.imm = int64(ry)
+	} else {
+		in.e = ry
+	}
+	bl.emit(in)
+}
+
+// emitLdMul emits the load-multiply superinstruction freg[t] = x *
+// dreg[ea], the hot "coefficient * A[...]" shape. Same mode-2 operand
+// packing as emitFMA.
+func (bl *bcLower) emitLdMul(addr bcAddr, x int32, pos Pos) int32 {
+	t := bl.newF()
+	in := instr{op: opLdMul0 + bcOp(addr.mode), a: addr.a, b: addr.b,
+		c: addr.ds, d: t, e: addr.e, imm: addr.imm, pos: pos}
+	if addr.mode == bcMode2 {
+		in.imm = int64(x)
+	} else {
+		in.e = x
+	}
+	bl.emit(in)
+	return t
+}
+
+// ---- element access ----
+
+func (bl *bcLower) arrRefOf(root *Ident) int32 {
+	ref := bl.ca.refOf(root)
+	switch ref.Kind {
+	case VarArray:
+		return int32(ref.Slot)
+	case VarGlobalArray:
+		return ^int32(ref.Slot)
+	}
+	bl.bail()
+	return 0
+}
+
+// lowerSubs evaluates subscripts left to right into index registers,
+// protecting earlier results against writes in later subscripts.
+func (bl *bcLower) lowerSubs(subs []Expr) []int32 {
+	if len(subs) < 1 || len(subs) > 2 {
+		bl.bail()
+	}
+	idx := make([]int32, len(subs))
+	for i, sx := range subs {
+		idx[i] = bl.asI(sx)
+		if i+1 < len(subs) {
+			idx[i] = bl.protectI(idx[i], subs[i+1:]...)
+		}
+	}
+	return idx
+}
+
+// indexLoad lowers an element read in float expression position.
+func (bl *bcLower) indexLoad(ix *IndexExpr) int32 {
+	root, subs := splitIndexChain(ix)
+	if root == nil {
+		bl.bail()
+	}
+	t := bl.newF()
+	if addr, ok := bl.classifyFast(root, subs); ok {
+		bl.emitU(opLdU0, addr, 0, t, ix.P)
+		return t
+	}
+	arr := bl.arrRefOf(root)
+	idx := bl.lowerSubs(subs)
+	if len(idx) == 1 {
+		bl.emit(instr{op: opLdE1, a: idx[0], c: arr, d: t, pos: ix.P})
+	} else {
+		bl.emit(instr{op: opLdE2, a: idx[0], b: idx[1], c: arr, d: t, pos: ix.P})
+	}
+	return t
+}
+
+// storeElem lowers a plain element store of an already-evaluated float
+// register (RHS first, then subscripts — walker evaluation order).
+func (bl *bcLower) storeElem(ix *IndexExpr, fv int32) {
+	root, subs := splitIndexChain(ix)
+	if root == nil {
+		bl.bail()
+	}
+	if addr, ok := bl.classifyFast(root, subs); ok {
+		bl.emitU(opStU0, addr, 0, fv, ix.P)
+		return
+	}
+	arr := bl.arrRefOf(root)
+	fv = bl.protectF(fv, subs...)
+	idx := bl.lowerSubs(subs)
+	if len(idx) == 1 {
+		bl.emit(instr{op: opStE1, a: idx[0], c: arr, d: fv, pos: ix.P})
+	} else {
+		bl.emit(instr{op: opStE2, a: idx[0], b: idx[1], c: arr, d: fv, pos: ix.P})
+	}
+}
+
+// compoundElem lowers an element compound assignment in expression
+// position, returning the stored value's register.
+func (bl *bcLower) compoundElem(ix *IndexExpr, base TokenKind, rhs Expr) int32 {
+	rv := bl.asF(rhs)
+	root, subs := splitIndexChain(ix)
+	if root == nil {
+		bl.bail()
+	}
+	res := bl.newF()
+	if addr, ok := bl.classifyFast(root, subs); ok {
+		old := bl.newF()
+		bl.emitU(opLdU0, addr, 0, old, ix.P)
+		bl.emit(bl.fArith(base, res, old, rv))
+		bl.emitU(opStU0, addr, 0, res, ix.P)
+		return res
+	}
+	arr := bl.arrRefOf(root)
+	rv = bl.protectF(rv, subs...)
+	idx := bl.lowerSubs(subs)
+	if len(idx) == 1 {
+		bl.emit(instr{op: opCmE1, sub: bcArithCode(base), a: idx[0], c: arr, d: rv, e: res, pos: ix.P})
+	} else {
+		bl.emit(instr{op: opCmE2, sub: bcArithCode(base), a: idx[0], b: idx[1], c: arr, d: rv, e: res, pos: ix.P})
+	}
+	return res
+}
+
+// ---- expressions ----
+
+// lowerI lowers a statically-int expression, returning its register.
+func (bl *bcLower) lowerI(e Expr) int32 {
+	if v, ok := constEval(e); ok {
+		return bl.constI(v.Int())
+	}
+	switch e := e.(type) {
+	case *Ident:
+		ref := bl.ca.refOf(e)
+		switch ref.Kind {
+		case VarScalar:
+			if bl.types.scalars[ref.Slot] != kInt {
+				bl.bail()
+			}
+			return int32(ref.Slot)
+		case VarGlobalScalar:
+			if bl.ca.varKind(ref) != kInt {
+				bl.bail()
+			}
+			t := bl.newI()
+			bl.emit(instr{op: opLdGI, d: t, a: int32(ref.Slot)})
+			return t
+		}
+	case *ParenExpr:
+		return bl.lowerI(e.X)
+	case *CastExpr:
+		return bl.asI(e.X)
+	case *UnExpr:
+		switch e.Op {
+		case MINUS:
+			x := bl.lowerI(e.X)
+			t := bl.newI()
+			bl.emit(instr{op: opNegI, d: t, a: x})
+			return t
+		case NOT:
+			return bl.boolNum(e.X, 0, 1)
+		}
+	case *BinExpr:
+		switch e.Op {
+		case ANDAND, OROR, EQ, NEQ, LT, GT, LEQ, GEQ:
+			return bl.boolNum(e, 1, 0)
+		}
+		x := bl.lowerI(e.X)
+		x = bl.protectI(x, e.Y)
+		y := bl.lowerI(e.Y)
+		t := bl.newI()
+		bl.emit(bl.iArith(e.Op, t, x, y, e.P))
+		return t
+	case *CondExpr:
+		t := bl.newI()
+		els := bl.newLabel()
+		end := bl.newLabel()
+		bl.branchBool(e.Cond, els, false)
+		r1 := bl.lowerI(e.Then)
+		bl.emit(instr{op: opMovI, d: t, a: r1})
+		bl.jmp(end)
+		bl.bind(els)
+		r2 := bl.lowerI(e.Else)
+		bl.emit(instr{op: opMovI, d: t, a: r2})
+		bl.bind(end)
+		return t
+	case *AssignExpr:
+		return bl.intAssign(e)
+	case *IncDecExpr:
+		return bl.intIncDec(e)
+	}
+	bl.bail()
+	return 0
+}
+
+// lowerF lowers a statically-double expression, returning its register.
+func (bl *bcLower) lowerF(e Expr) int32 {
+	if v, ok := constEval(e); ok {
+		return bl.constF(v.Float())
+	}
+	switch e := e.(type) {
+	case *Ident:
+		ref := bl.ca.refOf(e)
+		switch ref.Kind {
+		case VarScalar:
+			if bl.types.scalars[ref.Slot] != kFloat {
+				bl.bail()
+			}
+			return int32(ref.Slot)
+		case VarGlobalScalar:
+			if bl.ca.varKind(ref) != kFloat {
+				bl.bail()
+			}
+			t := bl.newF()
+			bl.emit(instr{op: opLdGF, d: t, a: int32(ref.Slot)})
+			return t
+		}
+	case *ParenExpr:
+		return bl.lowerF(e.X)
+	case *CastExpr:
+		return bl.asF(e.X)
+	case *UnExpr:
+		if e.Op == MINUS {
+			x := bl.lowerF(e.X)
+			t := bl.newF()
+			bl.emit(instr{op: opNegF, d: t, a: x})
+			return t
+		}
+	case *BinExpr:
+		// A statically-float binary op evaluates both operands as floats
+		// (closure floatExpr parity). "x * A[...]" with a proven element
+		// address fuses into the load-multiply superinstruction: X still
+		// lowers first and the load rides inside the superinstruction, so
+		// evaluation order is unchanged. The mirrored "A[...] * y" shape
+		// is not fused — commuting the operands could flip which NaN
+		// payload propagates.
+		if e.Op == STAR {
+			if ix, ok := stripParens(e.Y).(*IndexExpr); ok && bl.ca.kindOf(ix) == kFloat {
+				if root, subs := splitIndexChain(ix); root != nil {
+					if addr, ok := bl.classifyFast(root, subs); ok {
+						x := bl.asF(e.X)
+						return bl.emitLdMul(addr, x, ix.P)
+					}
+				}
+			}
+		}
+		x := bl.asF(e.X)
+		x = bl.protectF(x, e.Y)
+		y := bl.asF(e.Y)
+		t := bl.newF()
+		bl.emit(bl.fArith(e.Op, t, x, y))
+		return t
+	case *CondExpr:
+		t := bl.newF()
+		els := bl.newLabel()
+		end := bl.newLabel()
+		bl.branchBool(e.Cond, els, false)
+		r1 := bl.lowerF(e.Then)
+		bl.emit(instr{op: opMovF, d: t, a: r1})
+		bl.jmp(end)
+		bl.bind(els)
+		r2 := bl.lowerF(e.Else)
+		bl.emit(instr{op: opMovF, d: t, a: r2})
+		bl.bind(end)
+		return t
+	case *IndexExpr:
+		return bl.indexLoad(e)
+	case *AssignExpr:
+		return bl.floatAssign(e)
+	case *IncDecExpr:
+		return bl.floatIncDec(e)
+	case *CallExpr:
+		if bl.ca.isBuiltin(e) {
+			return bl.builtin(e)
+		}
+	}
+	bl.bail()
+	return 0
+}
+
+// asI lowers e to an int register with Value.Int() coercion semantics.
+func (bl *bcLower) asI(e Expr) int32 {
+	if v, ok := constEval(e); ok {
+		return bl.constI(v.Int())
+	}
+	switch bl.ca.kindOf(e) {
+	case kInt:
+		return bl.lowerI(e)
+	case kFloat:
+		f := bl.lowerF(e)
+		t := bl.newI()
+		bl.emit(instr{op: opF2I, d: t, a: f})
+		return t
+	}
+	bl.bail()
+	return 0
+}
+
+// asF lowers e to a float register with Value.Float() semantics.
+func (bl *bcLower) asF(e Expr) int32 {
+	if v, ok := constEval(e); ok {
+		return bl.constF(v.Float())
+	}
+	switch bl.ca.kindOf(e) {
+	case kInt:
+		i := bl.lowerI(e)
+		t := bl.newF()
+		bl.emit(instr{op: opI2F, d: t, a: i})
+		return t
+	case kFloat:
+		return bl.lowerF(e)
+	}
+	bl.bail()
+	return 0
+}
+
+// ---- branches ----
+
+// branchBool emits a conditional jump to target taken when e's C
+// truthiness equals jumpIf. Short-circuit operators lower to branch
+// chains without materializing 0/1 (closure boolExpr parity).
+func (bl *bcLower) branchBool(e Expr, target int, jumpIf bool) {
+	if v, ok := constEval(e); ok {
+		if v.Bool() == jumpIf {
+			bl.jmp(target)
+		}
+		return
+	}
+	switch e := e.(type) {
+	case *ParenExpr:
+		bl.branchBool(e.X, target, jumpIf)
+		return
+	case *UnExpr:
+		if e.Op == NOT {
+			bl.branchBool(e.X, target, !jumpIf)
+			return
+		}
+	case *BinExpr:
+		switch e.Op {
+		case ANDAND:
+			if !jumpIf {
+				bl.branchBool(e.X, target, false)
+				bl.branchBool(e.Y, target, false)
+			} else {
+				skip := bl.newLabel()
+				bl.branchBool(e.X, skip, false)
+				bl.branchBool(e.Y, target, true)
+				bl.bind(skip)
+			}
+			return
+		case OROR:
+			if jumpIf {
+				bl.branchBool(e.X, target, true)
+				bl.branchBool(e.Y, target, true)
+			} else {
+				skip := bl.newLabel()
+				bl.branchBool(e.X, skip, true)
+				bl.branchBool(e.Y, target, false)
+				bl.bind(skip)
+			}
+			return
+		case EQ, NEQ, LT, GT, LEQ, GEQ:
+			bl.branchCmp(e, target, jumpIf)
+			return
+		}
+	}
+	switch bl.ca.kindOf(e) {
+	case kInt:
+		r := bl.lowerI(e)
+		op := opBrNZI
+		if !jumpIf {
+			op = opBrZI
+		}
+		bl.patch(bl.emit(instr{op: op, a: r}), 1, target)
+	case kFloat:
+		r := bl.lowerF(e)
+		op := opBrNZF
+		if !jumpIf {
+			op = opBrZF
+		}
+		bl.patch(bl.emit(instr{op: op, a: r}), 1, target)
+	default:
+		bl.bail()
+	}
+}
+
+// branchCmp lowers a comparison branch. The runtime rule is "int
+// compare iff both operands are statically int"; bcNegate inverts the
+// evaluated predicate rather than rewriting the operator, so NaN
+// branch behaviour matches the closure backend's !cond exactly.
+func (bl *bcLower) branchCmp(e *BinExpr, target int, jumpIf bool) {
+	c := bl.ca
+	xk, yk := c.kindOf(e.X), c.kindOf(e.Y)
+	c.constKind(e.X, &xk)
+	c.constKind(e.Y, &yk)
+	var code uint8
+	switch e.Op {
+	case EQ:
+		code = bcEQ
+	case NEQ:
+		code = bcNEQ
+	case LT:
+		code = bcLT
+	case GT:
+		code = bcGT
+	case LEQ:
+		code = bcLEQ
+	default:
+		code = bcGEQ
+	}
+	if !jumpIf {
+		code |= bcNegate
+	}
+	if xk == kInt && yk == kInt {
+		x := bl.asI(e.X)
+		x = bl.protectI(x, e.Y)
+		y := bl.asI(e.Y)
+		bl.patch(bl.emit(instr{op: opBrCI, sub: code, a: x, b: y}), 2, target)
+		return
+	}
+	if xk == kFloat || yk == kFloat {
+		x := bl.asF(e.X)
+		x = bl.protectF(x, e.Y)
+		y := bl.asF(e.Y)
+		bl.patch(bl.emit(instr{op: opBrCF, sub: code, a: x, b: y}), 2, target)
+		return
+	}
+	bl.bail()
+}
+
+// boolNum materializes e's truthiness as tv/fv in an int register.
+func (bl *bcLower) boolNum(e Expr, tv, fv int64) int32 {
+	t := bl.newI()
+	fl := bl.newLabel()
+	end := bl.newLabel()
+	bl.branchBool(e, fl, false)
+	bl.emit(instr{op: opLdcI, d: t, imm: tv})
+	bl.jmp(end)
+	bl.bind(fl)
+	bl.emit(instr{op: opLdcI, d: t, imm: fv})
+	bl.bind(end)
+	return t
+}
+
+// ---- assignments, ++/--, builtins ----
+
+// intAssign lowers an assignment whose value is statically int.
+func (bl *bcLower) intAssign(e *AssignExpr) int32 {
+	if ix, ok := stripParens(e.LHS).(*IndexExpr); ok {
+		// A statically-int array store is always a plain assignment
+		// (compound element stores are kinded float).
+		if e.Op != ASSIGN {
+			bl.bail()
+		}
+		rv := bl.asI(e.RHS)
+		fv := bl.newF()
+		bl.emit(instr{op: opI2F, d: fv, a: rv})
+		bl.storeElem(ix, fv)
+		return rv
+	}
+	id, ok := stripParens(e.LHS).(*Ident)
+	if !ok {
+		bl.bail()
+	}
+	ref := bl.ca.refOf(id)
+	switch ref.Kind {
+	case VarScalar:
+		if bl.types.scalars[ref.Slot] != kInt {
+			bl.bail()
+		}
+		slot := int32(ref.Slot)
+		bl.mutated[slot] = true
+		if e.Op == ASSIGN {
+			rv := bl.asI(e.RHS)
+			if rv != slot {
+				bl.emit(instr{op: opMovI, d: slot, a: rv})
+			}
+			return slot
+		}
+		base, ok := compoundBase(e.Op)
+		if !ok {
+			bl.bail()
+		}
+		rk := bl.ca.kindOf(e.RHS)
+		bl.ca.constKind(e.RHS, &rk)
+		switch rk {
+		case kInt:
+			// RHS first, then the target's old value (closure parity).
+			rv := bl.lowerI(e.RHS)
+			t := bl.newI()
+			bl.emit(bl.iArith(base, t, slot, rv, e.P))
+			bl.emit(instr{op: opMovI, d: slot, a: t})
+			return t
+		case kFloat:
+			// int var ⊕= float rhs: float arithmetic, truncating store.
+			rv := bl.lowerF(e.RHS)
+			t1 := bl.newF()
+			bl.emit(instr{op: opI2F, d: t1, a: slot})
+			t2 := bl.newF()
+			bl.emit(bl.fArith(base, t2, t1, rv))
+			t3 := bl.newI()
+			bl.emit(instr{op: opF2I, d: t3, a: t2})
+			bl.emit(instr{op: opMovI, d: slot, a: t3})
+			return t3
+		}
+		bl.bail()
+	case VarGlobalScalar:
+		g := int32(ref.Slot)
+		if e.Op == ASSIGN {
+			rv := bl.asI(e.RHS)
+			bl.emit(instr{op: opStGI, d: g, a: rv})
+			return rv
+		}
+		base, ok := compoundBase(e.Op)
+		if !ok {
+			bl.bail()
+		}
+		rk := bl.ca.kindOf(e.RHS)
+		bl.ca.constKind(e.RHS, &rk)
+		switch rk {
+		case kInt:
+			rv := bl.lowerI(e.RHS)
+			old := bl.newI()
+			bl.emit(instr{op: opLdGI, d: old, a: g})
+			t := bl.newI()
+			bl.emit(bl.iArith(base, t, old, rv, e.P))
+			bl.emit(instr{op: opStGI, d: g, a: t})
+			return t
+		case kFloat:
+			rv := bl.lowerF(e.RHS)
+			old := bl.newI()
+			bl.emit(instr{op: opLdGI, d: old, a: g})
+			of := bl.newF()
+			bl.emit(instr{op: opI2F, d: of, a: old})
+			t2 := bl.newF()
+			bl.emit(bl.fArith(base, t2, of, rv))
+			t3 := bl.newI()
+			bl.emit(instr{op: opF2I, d: t3, a: t2})
+			bl.emit(instr{op: opStGI, d: g, a: t3})
+			return t3
+		}
+		bl.bail()
+	}
+	bl.bail()
+	return 0
+}
+
+// floatAssign lowers an assignment whose value is statically double.
+func (bl *bcLower) floatAssign(e *AssignExpr) int32 {
+	if ix, ok := stripParens(e.LHS).(*IndexExpr); ok {
+		if e.Op == ASSIGN {
+			rv := bl.lowerF(e.RHS)
+			bl.storeElem(ix, rv)
+			return rv
+		}
+		base, ok := compoundBase(e.Op)
+		if !ok {
+			bl.bail()
+		}
+		return bl.compoundElem(ix, base, e.RHS)
+	}
+	id, ok := stripParens(e.LHS).(*Ident)
+	if !ok {
+		bl.bail()
+	}
+	ref := bl.ca.refOf(id)
+	switch ref.Kind {
+	case VarScalar:
+		if bl.types.scalars[ref.Slot] != kFloat {
+			bl.bail()
+		}
+		slot := int32(ref.Slot)
+		bl.mutated[slot] = true
+		if e.Op == ASSIGN {
+			rv := bl.lowerF(e.RHS)
+			if rv != slot {
+				bl.emit(instr{op: opMovF, d: slot, a: rv})
+			}
+			return slot
+		}
+		base, ok := compoundBase(e.Op)
+		if !ok {
+			bl.bail()
+		}
+		rv := bl.asF(e.RHS)
+		t := bl.newF()
+		bl.emit(bl.fArith(base, t, slot, rv))
+		bl.emit(instr{op: opMovF, d: slot, a: t})
+		return t
+	case VarGlobalScalar:
+		g := int32(ref.Slot)
+		if e.Op == ASSIGN {
+			rv := bl.lowerF(e.RHS)
+			bl.emit(instr{op: opStGF, d: g, a: rv})
+			return rv
+		}
+		base, ok := compoundBase(e.Op)
+		if !ok {
+			bl.bail()
+		}
+		rv := bl.asF(e.RHS)
+		old := bl.newF()
+		bl.emit(instr{op: opLdGF, d: old, a: g})
+		t := bl.newF()
+		bl.emit(bl.fArith(base, t, old, rv))
+		bl.emit(instr{op: opStGF, d: g, a: t})
+		return t
+	}
+	bl.bail()
+	return 0
+}
+
+// intIncDec lowers i++ / i-- on a statically-int scalar, returning the
+// old value (postfix semantics).
+func (bl *bcLower) intIncDec(e *IncDecExpr) int32 {
+	id, ok := stripParens(e.X).(*Ident)
+	if !ok {
+		bl.bail()
+	}
+	delta := int64(1)
+	if e.Op != INC {
+		delta = -1
+	}
+	ref := bl.ca.refOf(id)
+	switch ref.Kind {
+	case VarScalar:
+		if bl.types.scalars[ref.Slot] != kInt {
+			bl.bail()
+		}
+		slot := int32(ref.Slot)
+		bl.mutated[slot] = true
+		old := bl.newI()
+		bl.emit(instr{op: opMovI, d: old, a: slot})
+		bl.emit(instr{op: opAddcI, d: slot, a: slot, imm: delta})
+		return old
+	case VarGlobalScalar:
+		g := int32(ref.Slot)
+		old := bl.newI()
+		bl.emit(instr{op: opLdGI, d: old, a: g})
+		t := bl.newI()
+		bl.emit(instr{op: opAddcI, d: t, a: old, imm: delta})
+		bl.emit(instr{op: opStGI, d: g, a: t})
+		return old
+	}
+	bl.bail()
+	return 0
+}
+
+// floatIncDec lowers x++ / x-- on a float scalar or array element.
+func (bl *bcLower) floatIncDec(e *IncDecExpr) int32 {
+	inc := e.Op == INC
+	delta := 1.0
+	if !inc {
+		delta = -1.0
+	}
+	if ix, ok := stripParens(e.X).(*IndexExpr); ok {
+		root, subs := splitIndexChain(ix)
+		if root == nil {
+			bl.bail()
+		}
+		old := bl.newF()
+		if addr, ok := bl.classifyFast(root, subs); ok {
+			nv := bl.newF()
+			bl.emitU(opLdU0, addr, 0, old, ix.P)
+			bl.emit(instr{op: opAddcF, d: nv, a: old, fv: delta})
+			bl.emitU(opStU0, addr, 0, nv, ix.P)
+			return old
+		}
+		var sub uint8
+		if inc {
+			sub = 1
+		}
+		arr := bl.arrRefOf(root)
+		idx := bl.lowerSubs(subs)
+		if len(idx) == 1 {
+			bl.emit(instr{op: opIncE1, sub: sub, a: idx[0], c: arr, d: old, pos: ix.P})
+		} else {
+			bl.emit(instr{op: opIncE2, sub: sub, a: idx[0], b: idx[1], c: arr, d: old, pos: ix.P})
+		}
+		return old
+	}
+	id, ok := stripParens(e.X).(*Ident)
+	if !ok {
+		bl.bail()
+	}
+	ref := bl.ca.refOf(id)
+	switch ref.Kind {
+	case VarScalar:
+		if bl.types.scalars[ref.Slot] != kFloat {
+			bl.bail()
+		}
+		slot := int32(ref.Slot)
+		bl.mutated[slot] = true
+		old := bl.newF()
+		bl.emit(instr{op: opMovF, d: old, a: slot})
+		bl.emit(instr{op: opAddcF, d: slot, a: slot, fv: delta})
+		return old
+	case VarGlobalScalar:
+		g := int32(ref.Slot)
+		old := bl.newF()
+		bl.emit(instr{op: opLdGF, d: old, a: g})
+		t := bl.newF()
+		bl.emit(instr{op: opAddcF, d: t, a: old, fv: delta})
+		bl.emit(instr{op: opStGF, d: g, a: t})
+		return old
+	}
+	bl.bail()
+	return 0
+}
+
+// builtin lowers a math-builtin call.
+func (bl *bcLower) builtin(e *CallExpr) int32 {
+	args := make([]int32, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = bl.asF(a)
+		if i+1 < len(e.Args) {
+			args[i] = bl.protectF(args[i], e.Args[i+1:]...)
+		}
+	}
+	t := bl.newF()
+	var sub uint8
+	switch e.Fun {
+	case "pow":
+		bl.emit(instr{op: opPow, d: t, a: args[0], b: args[1]})
+		return t
+	case "sqrt":
+		sub = bcSqrt
+	case "fabs":
+		sub = bcFabs
+	case "exp":
+		sub = bcExp
+	case "log":
+		sub = bcLog
+	case "floor":
+		sub = bcFloor
+	case "ceil":
+		sub = bcCeil
+	default:
+		bl.bail()
+	}
+	bl.emit(instr{op: opMath1, sub: sub, d: t, a: args[0]})
+	return t
+}
+
+// ---- statement-position expressions ----
+
+// exprVoid lowers e for statement position: stores are emitted
+// store-only, and the hot accumulate shapes fuse into
+// superinstructions.
+func (bl *bcLower) exprVoid(e Expr) {
+	switch e := e.(type) {
+	case *ParenExpr:
+		bl.exprVoid(e.X)
+		return
+	case *AssignExpr:
+		if ix, ok := stripParens(e.LHS).(*IndexExpr); ok {
+			bl.voidElemAssign(e, ix)
+			return
+		}
+		if id, ok := stripParens(e.LHS).(*Ident); ok {
+			ref := bl.ca.refOf(id)
+			if ref.Kind == VarScalar && bl.types.scalars[ref.Slot] == kFloat {
+				if mul := bl.fmasRHS(e, ref); mul != nil {
+					slot := int32(ref.Slot)
+					bl.mutated[slot] = true
+					rx := bl.asF(mul.X)
+					rx = bl.protectF(rx, mul.Y)
+					ry := bl.asF(mul.Y)
+					bl.emit(instr{op: opFMAS, d: slot, a: rx, b: ry})
+					return
+				}
+			}
+		}
+	}
+	if _, ok := constEval(e); ok {
+		return // pure constant in statement position
+	}
+	switch bl.ca.kindOf(e) {
+	case kInt:
+		bl.lowerI(e)
+	case kFloat:
+		bl.lowerF(e)
+	default:
+		bl.bail()
+	}
+}
+
+// fmasRHS recognizes the scalar fma-accumulate shapes "s += x*y" and
+// "s = s + x*y" (float multiply, no writes hiding in the operands for
+// the plain form, which reorders the read of s after x*y), returning
+// the multiply node.
+func (bl *bcLower) fmasRHS(e *AssignExpr, ref VarRef) *BinExpr {
+	if e.Op == ADDASSIGN {
+		if mul, ok := stripParens(e.RHS).(*BinExpr); ok && mul.Op == STAR && bl.ca.kindOf(mul) == kFloat {
+			return mul
+		}
+		return nil
+	}
+	if e.Op != ASSIGN {
+		return nil
+	}
+	add, ok := stripParens(e.RHS).(*BinExpr)
+	if !ok || add.Op != PLUS {
+		return nil
+	}
+	lhs, ok := stripParens(add.X).(*Ident)
+	if !ok {
+		return nil
+	}
+	r2 := bl.ca.refOf(lhs)
+	if r2.Kind != VarScalar || r2.Slot != ref.Slot {
+		return nil
+	}
+	mul, ok := stripParens(add.Y).(*BinExpr)
+	if !ok || mul.Op != STAR || bl.ca.kindOf(mul) != kFloat {
+		return nil
+	}
+	if exprWritesAny(add.Y) {
+		return nil
+	}
+	return mul
+}
+
+// fmaPlainRHS matches "elem + x*y" and "elem - x*y" (the plain-form
+// element multiply-accumulate RHS), returning the multiply, the loaded
+// element, and the matching superinstruction group (opFMAAcc0 for +,
+// opFMSAcc0 for -).
+func fmaPlainRHS(rhs Expr) (*BinExpr, *IndexExpr, bcOp) {
+	add, ok := stripParens(rhs).(*BinExpr)
+	if !ok || (add.Op != PLUS && add.Op != MINUS) {
+		return nil, nil, 0
+	}
+	group := opFMAAcc0
+	if add.Op == MINUS {
+		group = opFMSAcc0
+	}
+	lix, ok := stripParens(add.X).(*IndexExpr)
+	if !ok {
+		return nil, nil, 0
+	}
+	mul, ok := stripParens(add.Y).(*BinExpr)
+	if !ok || mul.Op != STAR {
+		return nil, nil, 0
+	}
+	return mul, lix, group
+}
+
+// voidElemAssign lowers an element assignment in statement position,
+// fusing the proven accumulate shapes into opFMAAcc: "A[...] += x*y"
+// unconditionally (the closure reads the element after the RHS too),
+// and "A[...] = A[...] + x*y" when the load provably aliases the store
+// and the RHS is write-free (the element read moves after x*y).
+func (bl *bcLower) voidElemAssign(e *AssignExpr, ix *IndexExpr) {
+	root, subs := splitIndexChain(ix)
+	if root == nil {
+		bl.bail()
+	}
+	addr, fast := bl.classifyFast(root, subs)
+	if e.Op == ASSIGN {
+		if fast && !exprWritesAny(e.RHS) {
+			if mul, lix, group := fmaPlainRHS(e.RHS); mul != nil && bl.ca.kindOf(mul) == kFloat {
+				lroot, lsubs := splitIndexChain(lix)
+				if lroot != nil {
+					if addr2, ok := bl.classifyFast(lroot, lsubs); ok && addr2 == addr {
+						rx := bl.asF(mul.X)
+						rx = bl.protectF(rx, mul.Y)
+						ry := bl.asF(mul.Y)
+						bl.emitAcc(group, addr, rx, ry, ix.P)
+						return
+					}
+				}
+			}
+		}
+		rv := bl.asF(e.RHS)
+		if fast {
+			bl.emitU(opStU0, addr, 0, rv, ix.P)
+			return
+		}
+		arr := bl.arrRefOf(root)
+		rv = bl.protectF(rv, subs...)
+		idx := bl.lowerSubs(subs)
+		if len(idx) == 1 {
+			bl.emit(instr{op: opStE1, a: idx[0], c: arr, d: rv, pos: ix.P})
+		} else {
+			bl.emit(instr{op: opStE2, a: idx[0], b: idx[1], c: arr, d: rv, pos: ix.P})
+		}
+		return
+	}
+	base, ok := compoundBase(e.Op)
+	if !ok {
+		bl.bail()
+	}
+	if fast && (base == PLUS || base == MINUS) {
+		if mul, ok := stripParens(e.RHS).(*BinExpr); ok && mul.Op == STAR && bl.ca.kindOf(mul) == kFloat {
+			group := opFMAAcc0
+			if base == MINUS {
+				group = opFMSAcc0
+			}
+			rx := bl.asF(mul.X)
+			rx = bl.protectF(rx, mul.Y)
+			ry := bl.asF(mul.Y)
+			bl.emitAcc(group, addr, rx, ry, ix.P)
+			return
+		}
+	}
+	rv := bl.asF(e.RHS)
+	if fast {
+		bl.emitU(opCmU0, addr, bcArithCode(base), rv, ix.P)
+		return
+	}
+	arr := bl.arrRefOf(root)
+	rv = bl.protectF(rv, subs...)
+	idx := bl.lowerSubs(subs)
+	res := bl.newF()
+	if len(idx) == 1 {
+		bl.emit(instr{op: opCmE1, sub: bcArithCode(base), a: idx[0], c: arr, d: rv, e: res, pos: ix.P})
+	} else {
+		bl.emit(instr{op: opCmE2, sub: bcArithCode(base), a: idx[0], b: idx[1], c: arr, d: rv, e: res, pos: ix.P})
+	}
+}

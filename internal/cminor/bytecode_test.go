@@ -1,0 +1,407 @@
+package cminor
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+)
+
+// mustBytecode compiles src with the bytecode backend at O3 and fails the
+// test if the frontend rejects it.
+func mustBytecode(t *testing.T, file, src string) *Program {
+	t.Helper()
+	p, err := Compile(MustParse(file, src), WithBackend(BackendBytecode), WithOptLevel(O3))
+	if err != nil {
+		t.Fatalf("Compile(%s, bytecode): %v", file, err)
+	}
+	return p
+}
+
+// TestBytecodeKernelParity runs every benchmark kernel under the walker and
+// the bytecode backend and demands bit-identical results: same return value,
+// same step count, and the same Float64bits in every output array.
+func TestBytecodeKernelParity(t *testing.T) {
+	for _, k := range BenchKernels {
+		t.Run(k.Name, func(t *testing.T) {
+			f := MustParse(k.File, k.Src)
+			p, err := Compile(f, WithBackend(BackendBytecode), WithOptLevel(O3))
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			wArgs := k.Args()
+			w := NewWalker(f)
+			wv, werr := w.Call(k.Fn, wArgs...)
+			bArgs := k.Args()
+			ins := p.NewInstance()
+			bv, berr := ins.Call(k.Fn, bArgs...)
+			if (werr == nil) != (berr == nil) {
+				t.Fatalf("error divergence: walker=%v bytecode=%v", werr, berr)
+			}
+			if !sameValue(wv, bv) {
+				t.Fatalf("value divergence: walker=%+v bytecode=%+v", wv, bv)
+			}
+			if w.Steps != ins.LastCallSteps() {
+				t.Errorf("step divergence: walker=%d bytecode=%d", w.Steps, ins.LastCallSteps())
+			}
+			for i := range wArgs {
+				wa, ok := wArgs[i].(*Array)
+				if !ok {
+					continue
+				}
+				ba := bArgs[i].(*Array)
+				for j := range wa.Data {
+					if math.Float64bits(wa.Data[j]) != math.Float64bits(ba.Data[j]) {
+						t.Fatalf("arg %d diverges at index %d: %g vs %g",
+							i, j, wa.Data[j], ba.Data[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBytecodeFuncs checks the lowering introspection hook: in the norms
+// program the driver calls a user function, which the lowerer does not
+// support, so only the leaf sq must appear in the lowered set.
+func TestBytecodeFuncs(t *testing.T) {
+	var norms BenchKernel
+	for _, k := range BenchKernels {
+		if k.Name == "norms" {
+			norms = k
+		}
+	}
+	p := mustBytecode(t, norms.File, norms.Src)
+	got := BytecodeFuncs(p)
+	if len(got) != 1 || got[0] != "sq" {
+		t.Fatalf("BytecodeFuncs = %v, want [sq] (driver has user calls and must bail)", got)
+	}
+
+	if got := BytecodeFuncs(mustBytecode(t, "dot.c", disGoldenSrc)); len(got) != 1 || got[0] != "dot" {
+		t.Fatalf("BytecodeFuncs(dot) = %v, want [dot]", got)
+	}
+}
+
+// stepParitySrc exercises the fused back edge (loopnext2), two-version
+// counted loops, a scalar accumulator, and array writes — the shapes whose
+// step accounting is most delicate under a tight budget.
+const stepParitySrc = `
+double mv(int n, double A[n][n], double x[n], double y[n]) {
+  int i; int j;
+  for (i = 0; i < n; i++) {
+    y[i] = 0.0;
+    for (j = 0; j < n; j++) {
+      y[i] = y[i] + A[i][j] * x[j];
+    }
+  }
+  double s = 0.0;
+  for (i = 0; i < n; i++) {
+    s = s + y[i];
+  }
+  return s;
+}
+`
+
+func stepParityArgs(n int) []any {
+	a, x, y := NewArray(n, n), NewArray(n), NewArray(n)
+	for i := range a.Data {
+		a.Data[i] = float64(i%11)*0.25 - 1.0
+	}
+	for i := range x.Data {
+		x.Data[i] = float64(i%5) + 0.5
+	}
+	return []any{IntV(int64(n)), a, x, y}
+}
+
+// TestBytecodeStepBudgetParity sweeps the statement budget across every
+// possible fault point of a matvec kernel and checks that the bytecode
+// backend faults exactly where the walker does: same error text, same
+// LastCallSteps, and the same partial output-array state. This pins down
+// the loopnext2 rollback: the fused back edge charges two steps at once
+// and must report the budget-crossing count, not the fused one.
+func TestBytecodeStepBudgetParity(t *testing.T) {
+	const n = 6
+	f := MustParse("mv.c", stepParitySrc)
+	p, err := Compile(f, WithBackend(BackendBytecode), WithOptLevel(O3))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+
+	// Unbudgeted run to learn the total step count.
+	w := NewWalker(f)
+	if _, err := w.Call("mv", stepParityArgs(n)...); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	total := w.Steps
+
+	for k := 1; k <= total+1; k++ {
+		w := NewWalker(f)
+		w.MaxSteps = k
+		wArgs := stepParityArgs(n)
+		wv, werr := w.Call("mv", wArgs...)
+
+		ins := p.NewInstance()
+		ins.SetMaxSteps(k)
+		bArgs := stepParityArgs(n)
+		bv, berr := ins.Call("mv", bArgs...)
+
+		if (werr == nil) != (berr == nil) {
+			t.Fatalf("k=%d: error divergence: walker=%v bytecode=%v", k, werr, berr)
+		}
+		if werr != nil && werr.Error() != berr.Error() {
+			t.Fatalf("k=%d: fault text divergence: %q vs %q", k, werr, berr)
+		}
+		if werr == nil && !sameValue(wv, bv) {
+			t.Fatalf("k=%d: value divergence: %+v vs %+v", k, wv, bv)
+		}
+		if w.Steps != ins.LastCallSteps() {
+			t.Fatalf("k=%d: step divergence: walker=%d bytecode=%d", k, w.Steps, ins.LastCallSteps())
+		}
+		wy, by := wArgs[3].(*Array), bArgs[3].(*Array)
+		for j := range wy.Data {
+			if math.Float64bits(wy.Data[j]) != math.Float64bits(by.Data[j]) {
+				t.Fatalf("k=%d: partial y diverges at %d: %g vs %g", k, j, wy.Data[j], by.Data[j])
+			}
+		}
+	}
+}
+
+// TestBytecodeSafeBodyFaultParity calls the matvec kernel with arrays that
+// are smaller than the loop bound, so the runtime proofs fail, the safe
+// (bounds-checked) body runs, and the out-of-range access must fault
+// exactly like the closure-tree backend (same positioned diagnostic) and
+// like the walker (same step count and partial state; the walker's own
+// diagnostic carries no position, so its text is compared by message).
+func TestBytecodeSafeBodyFaultParity(t *testing.T) {
+	const n = 6
+	shortArgs := func() []any {
+		a, x, y := NewArray(4, 4), NewArray(n), NewArray(n)
+		for i := range a.Data {
+			a.Data[i] = float64(i) * 0.5
+		}
+		for i := range x.Data {
+			x.Data[i] = 1.0
+		}
+		return []any{IntV(int64(n)), a, x, y}
+	}
+
+	f := MustParse("mv.c", stepParitySrc)
+	w := NewWalker(f)
+	wArgs := shortArgs()
+	_, werr := w.Call("mv", wArgs...)
+	if werr == nil {
+		t.Fatal("walker: expected out-of-range fault, got nil")
+	}
+
+	p, err := Compile(f, WithBackend(BackendBytecode), WithOptLevel(O3))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	ins := p.NewInstance()
+	bArgs := shortArgs()
+	_, berr := ins.Call("mv", bArgs...)
+	if berr == nil {
+		t.Fatal("bytecode: expected out-of-range fault, got nil")
+	}
+	tree, err := Compile(f, WithOptLevel(O3))
+	if err != nil {
+		t.Fatalf("compile O3: %v", err)
+	}
+	_, cerr := tree.NewInstance().Call("mv", shortArgs()...)
+	if cerr == nil {
+		t.Fatal("closure tree: expected out-of-range fault, got nil")
+	}
+	if berr.Error() != cerr.Error() {
+		t.Fatalf("fault divergence:\n  closure tree: %v\n  bytecode:     %v", cerr, berr)
+	}
+	const msg = "index 4 out of range [0,4) in dim 1"
+	if !strings.Contains(werr.Error(), msg) || !strings.Contains(berr.Error(), msg) {
+		t.Fatalf("fault message divergence:\n  walker:   %v\n  bytecode: %v", werr, berr)
+	}
+	if w.Steps != ins.LastCallSteps() {
+		t.Fatalf("fault step divergence: walker=%d bytecode=%d", w.Steps, ins.LastCallSteps())
+	}
+	wy, by := wArgs[3].(*Array), bArgs[3].(*Array)
+	for j := range wy.Data {
+		if math.Float64bits(wy.Data[j]) != math.Float64bits(by.Data[j]) {
+			t.Fatalf("partial y diverges at %d: %g vs %g", j, wy.Data[j], by.Data[j])
+		}
+	}
+}
+
+// TestBytecodeDivZeroFaultParity checks a second Diag class: integer
+// division by zero inside a lowered loop body.
+func TestBytecodeDivZeroFaultParity(t *testing.T) {
+	src := `
+int f(int n, double a[n]) {
+  int i; int s = 0;
+  for (i = 0; i < n; i++) {
+    s = s + 100 / (2 - i);
+  }
+  return s;
+}
+`
+	f := MustParse("div.c", src)
+	w := NewWalker(f)
+	_, werr := w.Call("f", IntV(8), NewArray(8))
+	if werr == nil {
+		t.Fatal("walker: expected division fault")
+	}
+	ins := mustBytecode(t, "div.c", src).NewInstance()
+	_, berr := ins.Call("f", IntV(8), NewArray(8))
+	if berr == nil {
+		t.Fatal("bytecode: expected division fault")
+	}
+	if werr.Error() != berr.Error() {
+		t.Fatalf("fault divergence:\n  walker:   %v\n  bytecode: %v", werr, berr)
+	}
+	if w.Steps != ins.LastCallSteps() {
+		t.Fatalf("fault step divergence: walker=%d bytecode=%d", w.Steps, ins.LastCallSteps())
+	}
+}
+
+// TestBytecodeCancellation checks that CallContext interrupts a bytecode
+// loop when the context is cancelled mid-flight.
+func TestBytecodeCancellation(t *testing.T) {
+	src := `
+double spin(int n, double a[n]) {
+  double s = 0.0;
+  int i; int r;
+  for (r = 0; r < 1000000; r++) {
+    for (i = 0; i < n; i++) {
+      s = s + a[i];
+    }
+  }
+  return s;
+}
+`
+	ins := mustBytecode(t, "spin.c", src).NewInstance()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ins.CallContext(ctx, "spin", IntV(64), NewArray(64)); err == nil {
+		t.Fatal("expected cancellation error, got nil")
+	} else if !strings.Contains(err.Error(), "cancel") {
+		t.Fatalf("error does not mention cancellation: %v", err)
+	}
+}
+
+// TestBytecodeSuperinstructions pins the superinstruction coverage on the
+// flagship shapes: the gemm update must fuse into the three-wide muldot
+// triple, and the trisolv back-substitution into the subtracting row/vector
+// triple, both riding the fused loopnext2 back edge.
+func TestBytecodeSuperinstructions(t *testing.T) {
+	want := map[string]string{
+		"gemm":    "f3.muldot",
+		"atax":    "f3.rowvec",
+		"trisolv": "f3.rowvecs",
+	}
+	for _, k := range BenchKernels {
+		su, ok := want[k.Name]
+		if !ok {
+			continue
+		}
+		p := mustBytecode(t, k.File, k.Src)
+		out, err := Disassemble(p, k.Fn)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if !strings.Contains(out, su) {
+			t.Errorf("%s: disassembly lacks %s:\n%s", k.Name, su, out)
+		}
+		if !strings.Contains(out, "loopnext2") {
+			t.Errorf("%s: disassembly lacks fused back edge loopnext2", k.Name)
+		}
+	}
+}
+
+const disGoldenSrc = `
+double dot(int n, double a[n], double x[n]) {
+  double s = 0.0;
+  int i;
+  for (i = 0; i < n; i++) {
+    s = s + a[i] * x[i];
+  }
+  return s;
+}
+`
+
+// disGolden is the full Disassemble output for disGoldenSrc. It documents
+// the two-version loop layout end to end: proof preamble (provearr/proveiv)
+// choosing between the unchecked fast body (ldu0 + fmas + loopnext2) and
+// the checked safe body (lde1 + fmas + loopnext2). Update deliberately when
+// the lowering changes.
+const disGolden = `func dot: 32 instrs, 7 int regs, 8 float regs, 2 data regs
+   0  ldc.f      f3 = 0
+   1  ldc.i      i3 = 0
+   2  step                                    ; 3:10
+   3  mov.f      f1 f3
+   4  step                                    ; 4:7
+   5  ldc.i      i2 = 0
+   6  step2                                   ; 5:3
+   7  mov.i      i2 i3
+   8  mov.i      i4 i0
+   9  strictdec  i4 @29
+  10  brc.i      gt i2 i4 @29
+  11  jmp        @24
+  12  step                                    ; 6:7
+  13  ldu0       f4 d0[i2]                    ; 6:14
+  14  ldu0       f5 d1[i2]                    ; 6:21
+  15  fmas       f1 += f4*f5
+  16  loopnext2  i2<=i4 @13                   ; 5:3
+  17  jmp        @29
+  18  step                                    ; 6:7
+  19  lde1       f6 a0[i2]                    ; 6:14
+  20  lde1       f7 a1[i2]                    ; 6:21
+  21  fmas       f1 += f6*f7
+  22  loopnext2  i2<=i4 @19                   ; 5:3
+  23  jmp        @29
+  24  provearr   a0 rank=1 i5 d0 else @18
+  25  proveiv    [i2+0, i4+0] < i5 else @18
+  26  provearr   a1 rank=1 i6 d1 else @18
+  27  proveiv    [i2+0, i4+0] < i6 else @18
+  28  jmp        @12
+  29  step                                    ; 8:3
+  30  ret.f      f1
+  31  ret
+`
+
+func TestDisassembleGolden(t *testing.T) {
+	p := mustBytecode(t, "dot.c", disGoldenSrc)
+	out, err := Disassemble(p, "dot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != disGolden {
+		t.Fatalf("disassembly drifted from golden.\n--- got ---\n%s--- want ---\n%s", out, disGolden)
+	}
+}
+
+func TestDisassembleErrors(t *testing.T) {
+	bc := mustBytecode(t, "dot.c", disGoldenSrc)
+
+	if _, err := Disassemble(bc, "nosuch"); err == nil {
+		t.Fatal("unknown function: expected error")
+	} else if got, want := err.Error(), `cminor: Disassemble: no function "nosuch"`; got != want {
+		t.Fatalf("unknown function: got %q, want %q", got, want)
+	}
+
+	tree, err := Compile(MustParse("dot.c", disGoldenSrc), WithOptLevel(O3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Disassemble(tree, "dot"); err == nil {
+		t.Fatal("closure-tree program: expected error")
+	} else if !strings.Contains(err.Error(), "not bytecode") {
+		t.Fatalf("closure-tree program: got %q, want a backend mismatch error", err)
+	}
+
+	bailed := mustBytecode(t, "call.c", `
+double g(double x) { return x + 1.0; }
+double f(double x) { return g(x) * 2.0; }
+`)
+	if _, err := Disassemble(bailed, "f"); err == nil {
+		t.Fatal("bailed function: expected error")
+	} else if !strings.Contains(err.Error(), "bailed to the closure fallback") {
+		t.Fatalf("bailed function: got %q, want a bail error", err)
+	}
+}

@@ -80,7 +80,17 @@ type frame struct {
 	cells   []*Value
 	arrays  []*Array
 	hoists  []hoistCell
-	ret     Value
+	// ireg/freg are the bytecode backend's register files (nil for
+	// closure-compiled variants). Slots [0, NumScalars) shadow the
+	// function's scalar variables by static kind; higher registers are
+	// single-assignment temporaries.
+	ireg []int64
+	freg []float64
+	// dreg holds array backing stores hoisted by opProveArr so fast-body
+	// accesses index the data directly, like the closure backend's
+	// hoisted row slices.
+	dreg [][]float64
+	ret  Value
 }
 
 // globalStore holds per-Instance storage for file-scope variables.
@@ -106,6 +116,9 @@ type compiledFunc struct {
 	nScalars int
 	nCells   int
 	nArrays  int
+	// bc is the flat-bytecode lowering (BackendBytecode variants only);
+	// nil when the function bailed to the closure fallback.
+	bc *bcFunc
 }
 
 // rtPanic raises a positioned runtime diagnostic; Interp.Call recovers it

@@ -395,6 +395,7 @@ func TestCompiledParityWithWalker(t *testing.T) {
 				{"variant-O3", mustVariant(t, prog, WithOptLevel(O3)).NewInstance()},
 				{"variant-O1", mustVariant(t, prog, WithOptLevel(O1)).NewInstance()},
 				{"variant-O0", mustVariant(t, prog, WithOptLevel(O0)).NewInstance()},
+				{"variant-bc", mustVariant(t, prog, WithBackend(BackendBytecode), WithOptLevel(O3)).NewInstance()},
 			}
 			wArgs := tc.args()
 			wv, werr := NewWalker(f).Call(tc.fn, wArgs...)

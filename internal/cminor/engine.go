@@ -43,12 +43,23 @@ const (
 	// — the slow, name-resolving semantics oracle, useful for
 	// differential runs.
 	BackendWalker
+	// BackendBytecode lowers typed functions to a flat register-machine
+	// bytecode run by a single dispatch loop (bytecode.go). Functions
+	// the lowerer cannot prove equivalent keep their closure-compiled
+	// body, so a bytecode variant is always whole-program correct.
+	BackendBytecode
+
+	// maxBackend is the highest backend Compile/Variant accept.
+	maxBackend = BackendBytecode
 )
 
 // String names the backend.
 func (b Backend) String() string {
-	if b == BackendWalker {
+	switch b {
+	case BackendWalker:
 		return "walker"
+	case BackendBytecode:
+		return "bytecode"
 	}
 	return "compiled"
 }
@@ -157,6 +168,10 @@ func WithPasses(m PassMask) Option {
 
 // validate rejects option combinations the engine cannot honour.
 func (c config) validate(file string) error {
+	if c.backend > maxBackend {
+		return diagf(file, Pos{}, "unknown backend %d (supported: 0–%d)",
+			uint8(c.backend), uint8(maxBackend))
+	}
 	if c.opt > maxOptLevel {
 		return diagf(file, Pos{}, "unknown optimization level O%d (supported: O0–O%d)",
 			uint8(c.opt), uint8(maxOptLevel))
@@ -298,6 +313,21 @@ func lower(fname string, res *ResolvedFile, ti *typeInfo, cfg config) *Program {
 		cf.body = ct.block(cf.info.Decl.Body)
 		cf.numHoist = ct.numHoist
 	}
+	// The bytecode backend replaces eligible closure bodies with a flat
+	// dispatch loop; ineligible functions keep the closure body built
+	// above, so mixed programs still execute end to end.
+	if cfg.backend == BackendBytecode {
+		for name, cf := range p.funcs {
+			if bc := lowerBCFunc(p, name, cf); bc != nil {
+				cf.bc = bc
+				bcf := bc
+				cf.body = func(fr *frame) flow {
+					execBC(fr, bcf)
+					return flowNormal
+				}
+			}
+		}
+	}
 	return p
 }
 
@@ -346,7 +376,7 @@ type Instance struct {
 func (p *Program) NewInstance() *Instance {
 	s := &Instance{prog: p, maxSteps: p.cfg.maxSteps}
 	s.limit.Store(int64(s.maxSteps))
-	if p.cfg.backend == BackendCompiled {
+	if p.cfg.backend != BackendWalker {
 		s.g = p.newGlobals()
 		s.pools = make([][]*frame, p.nfun)
 	}
@@ -487,6 +517,11 @@ func (s *Instance) getFrame(cf *compiledFunc) *frame {
 	if cf.numHoist > 0 {
 		fr.hoists = make([]hoistCell, cf.numHoist)
 	}
+	if cf.bc != nil {
+		fr.ireg = make([]int64, cf.bc.nI)
+		fr.freg = make([]float64, cf.bc.nF)
+		fr.dreg = make([][]float64, cf.bc.nD)
+	}
 	return fr
 }
 
@@ -498,6 +533,7 @@ func (s *Instance) getFrame(cf *compiledFunc) *frame {
 func (s *Instance) putFrame(cf *compiledFunc, fr *frame) {
 	clear(fr.cells)
 	clear(fr.arrays)
+	clear(fr.dreg)
 	for i := range fr.hoists {
 		fr.hoists[i].arr = nil
 	}

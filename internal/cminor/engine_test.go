@@ -223,6 +223,7 @@ double biasedDot(int n, double a[n], double b[n]) {
 		mustVariant(t, prog, WithOptLevel(O1)),
 		mustVariant(t, prog, WithOptLevel(O0)),
 		mustVariant(t, prog, WithBackend(BackendWalker)),
+		mustVariant(t, prog, WithBackend(BackendBytecode), WithOptLevel(O3)),
 	}
 	_, want := dotArgs(16)
 	for _, p := range variants {
@@ -352,6 +353,25 @@ double wrap(int n, double a[n], double b[n]) { return dot(n, a, b) * 2.0; }`
 	if avg != 0 {
 		t.Errorf("steady-state Call allocates %.1f objects/op, want 0", avg)
 	}
+	// The bytecode backend pools its register files with the frames, so
+	// the same guarantee holds there.
+	bp, err := prog.Variant(WithBackend(BackendBytecode), WithOptLevel(O3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	binst := bp.NewInstance()
+	binst.SetMaxSteps(1 << 60)
+	if _, err := binst.Call("wrap", args...); err != nil {
+		t.Fatal(err)
+	}
+	avg = testing.AllocsPerRun(50, func() {
+		if _, err := binst.Call("wrap", args...); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("bytecode steady-state Call allocates %.1f objects/op, want 0", avg)
+	}
 }
 
 // TestInstancePoolBudgetPerCheckout is the SetMaxSteps / pool
@@ -470,6 +490,18 @@ func TestLastCallSteps(t *testing.T) {
 	}
 	if winst.LastCallSteps() != first {
 		t.Fatalf("walker call cost %d steps, compiled cost %d", winst.LastCallSteps(), first)
+	}
+	// And so does the bytecode backend, fused back edges included.
+	bv, err := prog.Variant(WithBackend(BackendBytecode), WithOptLevel(O3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	binst := bv.NewInstance()
+	if _, err := binst.Call("dot", args...); err != nil {
+		t.Fatal(err)
+	}
+	if binst.LastCallSteps() != first {
+		t.Fatalf("bytecode call cost %d steps, compiled cost %d", binst.LastCallSteps(), first)
 	}
 	// A faulting call still reports the steps it executed on the way in.
 	tight := prog.NewInstance()

@@ -303,6 +303,23 @@ func TestDifferentialGeneratedKernels(t *testing.T) {
 				v, err := vp.NewInstance().Call("k", args...)
 				variants = append(variants, variantRun{lvl.String(), args, v, err})
 			}
+			// The flat-bytecode backend: lowered functions run the
+			// register-machine dispatch loop, bailed ones their closure
+			// fallback — both must match the oracle bit for bit, and the
+			// step counter must agree exactly (the fused back edge and
+			// superinstruction charges are the risky part).
+			bp, bperr := prog.Variant(WithBackend(BackendBytecode), WithOptLevel(O3))
+			if bperr != nil {
+				t.Fatalf("Variant(bytecode): %v", bperr)
+			}
+			bArgs := diffArgs(8, seed)
+			bi := bp.NewInstance()
+			bv, berr := bi.Call("k", bArgs...)
+			variants = append(variants, variantRun{"bytecode", bArgs, bv, berr})
+			if werr == nil && berr == nil && bi.LastCallSteps() != w.Steps {
+				t.Fatalf("bytecode step divergence on:\n%s\nwalker=%d bytecode=%d",
+					src, w.Steps, bi.LastCallSteps())
+			}
 			for _, vr := range variants {
 				if (werr == nil) != (vr.err == nil) {
 					t.Fatalf("%s error divergence on:\n%s\nwalker=%v variant=%v",

@@ -62,6 +62,12 @@ func diffCheck(t *testing.T, name, src, fn string, mk func() []any) {
 	}
 	inst := o3.NewInstance()
 	run("O3", func(args []any) (Value, error) { return inst.Call(fn, args...) })
+	bc, err := Compile(f, WithBackend(BackendBytecode), WithOptLevel(O3))
+	if err != nil {
+		t.Fatalf("%s: bytecode Compile rejected what O3 accepted: %v", name, err)
+	}
+	bi := bc.NewInstance()
+	run("bytecode", func(args []any) (Value, error) { return bi.Call(fn, args...) })
 }
 
 // Inner loop's hoisted access fails preflight (a[j+off] out of range when
