@@ -2,10 +2,10 @@
 # PRs: it writes the full benchmark event stream (go test -json) to
 # BENCH_$(PR).json so successive PRs can be diffed.
 
-PR ?= 6
+PR ?= 7
 BENCHCOUNT ?= 5
 
-.PHONY: all build test test-race vet fmt bench bench-smoke
+.PHONY: all build test test-race vet fmt lint chaos bench bench-smoke
 
 all: build test
 
@@ -23,6 +23,26 @@ vet:
 
 fmt:
 	test -z "$$(gofmt -l .)" || { gofmt -l .; exit 1; }
+
+# Static analysis beyond vet. staticcheck is optional tooling: run it
+# when the host has it, skip cleanly when it doesn't (CI images and dev
+# boxes differ; the target must not fail on a missing binary).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+
+# Fault-containment suite under the race detector: the injection fuzz
+# corpus (every generated kernel sabotaged at entry and exit on both
+# optimized backends, plus the silent-miscompile audit leg) and the
+# deterministic quarantine lifecycle simulations, including the
+# concurrent chaos-routing test the small backoff makes race-prone by
+# design.
+chaos:
+	go test -race -count=1 ./internal/cminor/ -run 'TestChaosInjectedFaultsStayBitExact'
+	go test -race -count=1 ./internal/cminor/autotune/ -run 'TestQuarantine|TestAllArmsQuarantined|TestAuditCatches|TestConcurrentChaos'
 
 # Full benchmark sweep, recorded as JSON for cross-PR tracking. The
 # `-bench .` regex includes the *Parallel benchmarks (shared-Program

@@ -29,6 +29,7 @@ package autotune
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -50,20 +51,29 @@ type config struct {
 	clock      Clock
 	sampler    Sampler
 	classify   func(args []any) int
+	// Fault containment (quarantine.go).
+	fallback    bool             // trusted-fallback re-execution on variants
+	inject      cm.FaultInjector // deterministic fault-injection seam
+	auditEvery  int64            // every nth site call runs CallAudited (0 = off)
+	backoffBase time.Duration    // first quarantine window
+	backoffMax  time.Duration    // backoff doubling cap
 }
 
 func defaultTunerConfig() config {
 	return config{
-		grid:       DefaultGrid(),
-		policy:     EpsilonGreedy,
-		epsilon:    0.05,
-		alpha:      0.3,
-		minSamples: 3,
-		drift:      0.5,
-		ucbC:       1.0,
-		seed:       1,
-		clock:      wallClock{},
-		classify:   SizeClass,
+		grid:        DefaultGrid(),
+		policy:      EpsilonGreedy,
+		epsilon:     0.05,
+		alpha:       0.3,
+		minSamples:  3,
+		drift:       0.5,
+		ucbC:        1.0,
+		seed:        1,
+		clock:       wallClock{},
+		classify:    SizeClass,
+		fallback:    true,
+		backoffBase: 250 * time.Millisecond,
+		backoffMax:  30 * time.Second,
 	}
 }
 
@@ -175,6 +185,13 @@ func New(prog *cm.Program, opts ...Option) (*AutoTuner, error) {
 	if cfg.drift <= 0 {
 		return nil, fmt.Errorf("autotune: drift factor must be > 0, got %g", cfg.drift)
 	}
+	if cfg.auditEvery < 0 {
+		return nil, fmt.Errorf("autotune: audit cadence must be >= 0, got %d", cfg.auditEvery)
+	}
+	if cfg.backoffBase <= 0 || cfg.backoffMax < cfg.backoffBase {
+		return nil, fmt.Errorf("autotune: quarantine backoff must satisfy 0 < base <= max, got %v, %v",
+			cfg.backoffBase, cfg.backoffMax)
+	}
 	for _, spec := range cfg.grid {
 		// Run the engine's own option validation now so a typo'd grid
 		// fails fast — without lowering anything; variants still
@@ -205,11 +222,19 @@ func (t *AutoTuner) Grid() []VariantSpec {
 	return append([]VariantSpec{}, t.cfg.grid...)
 }
 
-// variant materializes (once) and returns grid point idx.
+// variant materializes (once) and returns grid point idx. Every
+// materialized variant carries the tuner's resilience options: trusted
+// fallback (so a faulting arm degrades instead of erroring) and the
+// fault injector, when one is armed.
 func (t *AutoTuner) variant(idx int) (*variantSlot, error) {
 	s := t.slots[idx]
 	s.once.Do(func() {
-		s.prog, s.err = t.base.Variant(t.cfg.grid[idx].options()...)
+		opts := t.cfg.grid[idx].options()
+		opts = append(opts, cm.WithFallback(t.cfg.fallback))
+		if t.cfg.inject != nil {
+			opts = append(opts, cm.WithFaultInjector(t.cfg.inject))
+		}
+		s.prog, s.err = t.base.Variant(opts...)
 		if s.err == nil {
 			s.pool = s.prog.NewPool()
 		}
@@ -256,7 +281,12 @@ func (t *AutoTuner) call(ctx context.Context, fn string, args []any) (cm.Value, 
 	key := siteKey{fn: fn, class: t.cfg.classify(args)}
 
 	t.mu.Lock()
-	idx := t.site(key).choose(&t.cfg, &t.rng)
+	st := t.site(key)
+	idx := st.choose(&t.cfg, &t.rng)
+	// Audit cadence: every nth call at the site re-executes on the
+	// trusted tier and compares outcomes bit-exactly, so a silently
+	// wrong arm is caught even though it never panics.
+	audit := t.cfg.auditEvery > 0 && st.pulls%t.cfg.auditEvery == 0
 	t.mu.Unlock()
 
 	slot, err := t.variant(idx)
@@ -267,7 +297,8 @@ func (t *AutoTuner) call(ctx context.Context, fn string, args []any) (cm.Value, 
 	var ret cm.Value
 	var cost time.Duration
 	var callErr error
-	if cs, isClock := t.sampler.(clockSampler); isClock {
+	var diverged bool
+	if cs, isClock := t.sampler.(clockSampler); isClock && !audit {
 		// Closure-free fast path for the default sampler: on the small
 		// kernels the routed call is tens of microseconds, so the tuner
 		// itself must not allocate per call.
@@ -281,20 +312,35 @@ func (t *AutoTuner) call(ctx context.Context, fn string, args []any) (cm.Value, 
 	} else {
 		cost, callErr = t.sampler.Sample(fn, t.cfg.grid[idx], key.class, func() error {
 			var e error
-			if ctx != nil {
+			switch {
+			case audit:
+				ret, diverged, e = inst.CallAudited(ctx, fn, args...)
+			case ctx != nil:
 				ret, e = inst.CallContext(ctx, fn, args...)
-			} else {
+			default:
 				ret, e = inst.Call(fn, args...)
 			}
 			return e
 		})
 	}
-	// Put restores the pooled session's budget, so the next checkout
-	// starts fresh regardless of what this call consumed.
+	// Read the containment taps before Put resets the session.
+	out := callOutcome{
+		ok:       callErr == nil && !audit,
+		fault:    inst.LastCallFault() != nil,
+		degraded: inst.LastCallDegraded(),
+		diverged: diverged,
+	}
+	var ifault *cm.InternalFault
+	if errors.As(callErr, &ifault) {
+		out.fault = true
+	}
+	// Put restores the pooled session's budget — and rebuilds a
+	// poisoned session's globals — so the next checkout starts fresh
+	// regardless of what this call did.
 	slot.pool.Put(inst)
 
 	t.mu.Lock()
-	t.site(key).observe(&t.cfg, idx, float64(cost), callErr == nil)
+	t.site(key).observe(&t.cfg, idx, float64(cost), out)
 	t.mu.Unlock()
 	return ret, callErr
 }
@@ -319,21 +365,28 @@ func (t *AutoTuner) Snapshot() []SiteReport {
 	reports := make([]SiteReport, 0, len(t.sites))
 	for key, st := range t.sites {
 		r := SiteReport{
-			Fn:           key.fn,
-			Class:        key.class,
-			Converged:    st.phase == phaseExploit,
-			Best:         t.cfg.grid[st.best],
-			Pulls:        st.pulls,
-			ExplorePulls: st.explore,
-			Reopens:      st.reopens,
-			Arms:         make([]ArmReport, len(st.arms)),
+			Fn:              key.fn,
+			Class:           key.class,
+			Converged:       st.phase == phaseExploit,
+			Best:            t.cfg.grid[st.best],
+			Pulls:           st.pulls,
+			ExplorePulls:    st.explore,
+			Reopens:         st.reopens,
+			QuarantinedArms: st.nquar,
+			Arms:            make([]ArmReport, len(st.arms)),
 		}
 		for i := range st.arms {
+			a := &st.arms[i]
 			r.Arms[i] = ArmReport{
-				Spec:    t.cfg.grid[i],
-				Pulls:   st.arms[i].pulls,
-				EWMA:    durationOf(st.arms[i].ewma),
-				Sampled: st.arms[i].sampled,
+				Spec:        t.cfg.grid[i],
+				Pulls:       a.pulls,
+				EWMA:        durationOf(a.ewma),
+				Sampled:     a.sampled,
+				Faults:      a.faults,
+				Degraded:    a.degraded,
+				Diverged:    a.diverged,
+				Quarantines: a.quarantines,
+				Quarantined: a.quarantined,
 			}
 		}
 		reports = append(reports, r)

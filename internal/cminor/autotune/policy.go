@@ -29,7 +29,21 @@ func (p Policy) String() string {
 // choose picks the arm for the next call at st and charges the pull.
 // Caller holds the tuner mutex; rng is the tuner's seeded PRNG.
 func (st *siteState) choose(cfg *config, rng *splitmix64) int {
+	if st.nquar > 0 {
+		// Expired quarantines return to service before selection; the
+		// clock is only read when a quarantine exists, so the fault-free
+		// fast path stays clock-free.
+		st.liftExpired(cfg, cfg.clock.Now())
+	}
 	st.pulls++
+	if st.nquar == len(st.arms) {
+		// Every arm is quarantined: there is no trusted variant left, so
+		// route to the one whose backoff expires soonest — it is the next
+		// to be retried anyway, and the call still runs under containment.
+		idx := st.soonestLift()
+		st.arms[idx].pulls++
+		return idx
+	}
 	if st.phase == phaseMeasure {
 		idx := st.nextMeasured(cfg)
 		st.arms[idx].pulls++
@@ -62,6 +76,9 @@ func (st *siteState) nextMeasured(cfg *config) int {
 	n := len(st.arms)
 	for k := 0; k < n; k++ {
 		idx := (st.cursor + k) % n
+		if st.arms[idx].quarantined {
+			continue // out of service until its backoff lifts
+		}
 		if st.arms[idx].pulls < int64(cfg.minSamples) {
 			st.cursor = idx // stay on this arm until its quota is met
 			return idx
@@ -71,14 +88,28 @@ func (st *siteState) nextMeasured(cfg *config) int {
 }
 
 // chooseEpsilon is exploit-phase epsilon-greedy: probability epsilon of
-// picking a uniformly random non-winning arm, else the winner.
+// picking a uniformly random non-winning arm still in service, else the
+// winner. With no quarantines the index mapping (and the PRNG stream)
+// is identical to the historical two-draw scheme, so seeded decision
+// sequences stay reproducible.
 func (st *siteState) chooseEpsilon(cfg *config, rng *splitmix64) int {
-	if n := len(st.arms); n > 1 && rng.float64() < cfg.epsilon {
-		idx := rng.intn(n - 1)
-		if idx >= st.best {
-			idx++ // uniform over the arms that are not the winner
+	eligible := 0
+	for i := range st.arms {
+		if i != st.best && !st.arms[i].quarantined {
+			eligible++
 		}
-		return idx
+	}
+	if eligible > 0 && rng.float64() < cfg.epsilon {
+		k := rng.intn(eligible)
+		for i := range st.arms {
+			if i == st.best || st.arms[i].quarantined {
+				continue
+			}
+			if k == 0 {
+				return i
+			}
+			k--
+		}
 	}
 	return st.best
 }
@@ -94,7 +125,7 @@ func (st *siteState) chooseUCB(cfg *config) int {
 	best, bestScore, found := st.best, math.Inf(1), false
 	for i := range st.arms {
 		a := &st.arms[i]
-		if !a.sampled {
+		if !a.sampled || a.quarantined {
 			continue
 		}
 		width := cfg.ucbC * scale * math.Sqrt(2*lnN/float64(a.pulls+1))

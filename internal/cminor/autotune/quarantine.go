@@ -1,0 +1,143 @@
+package autotune
+
+import (
+	"time"
+
+	cm "socrates/internal/cminor"
+)
+
+// Variant quarantine: the tuner's half of the fault-containment layer
+// (cminor/resilience.go). The engine contains internal panics and —
+// with fallback enabled — degrades a faulting call onto the trusted
+// reference tier; the tuner reads those taps and takes the routing
+// decision: an arm whose call ended in an internal fault, or whose
+// audited re-execution revealed a value divergence, is quarantined at
+// that (function, input-class) site — excluded from the measure and
+// exploit phases — with exponential clock-based backoff, so a flaky arm
+// can earn its way back. A lifted arm re-enters through a fresh measure
+// burst (its old estimates are discarded with its trust), so a clean
+// arm re-wins on merit.
+
+// callOutcome classifies one routed call for the site's phase machine.
+type callOutcome struct {
+	// ok means cost is a valid successful measurement of the arm's own
+	// backend (not a faulted, degraded, or audited call).
+	ok bool
+	// fault: the call hit a contained internal fault on this arm
+	// (whether or not fallback then served the caller).
+	fault bool
+	// degraded: the caller was served by trusted-fallback re-execution.
+	degraded bool
+	// diverged: an audit re-execution revealed a wrong result — a silent
+	// miscompile containment alone cannot see.
+	diverged bool
+}
+
+// WithFaultInjector arms every variant the tuner materializes with the
+// engine fault injector (cminor.WithFaultInjector) — the deterministic
+// seam the quarantine simulations drive the detect → contain →
+// rollback → fallback → quarantine → re-entry pipeline through. The
+// trusted reference tier stays injector-free.
+func WithFaultInjector(inj cm.FaultInjector) Option {
+	return func(c *config) { c.inject = inj }
+}
+
+// WithFallback toggles trusted-fallback re-execution
+// (cminor.WithFallback) on the tuner's variants. Default true: the
+// tuner exists to route traffic onto aggressive variants, so a variant
+// that faults mid-call must degrade onto the reference tier — the
+// caller sees a correct result, the tuner sees the quarantine signal.
+// Disable it only for kernels whose state exceeds the snapshot bound
+// anyway, where it buys nothing.
+func WithFallback(on bool) Option {
+	return func(c *config) { c.fallback = on }
+}
+
+// WithAuditEvery routes every nth call of each site through
+// cminor.CallAudited: the call re-executes on the trusted tier from the
+// same pre-call state and the outcomes are compared bit-exactly, so a
+// silently wrong arm is caught and quarantined even though it never
+// panics. n = 0 (the default) disables auditing. Audited calls are
+// excluded from cost estimates — their cost includes the reference
+// re-execution.
+func WithAuditEvery(n int64) Option {
+	return func(c *config) { c.auditEvery = n }
+}
+
+// WithQuarantineBackoff sets the exponential backoff window of a
+// quarantined arm: the first quarantine at a site lasts base, each
+// subsequent one doubles, capped at max. Backoff is measured on the
+// tuner's injected Clock, so simulations drive the full
+// quarantine→lift→re-entry cycle with a fake clock.
+func WithQuarantineBackoff(base, max time.Duration) Option {
+	return func(c *config) { c.backoffBase, c.backoffMax = base, max }
+}
+
+// backoff computes the quarantine window after the arm's nth
+// quarantine (1-based): base·2^(n-1), capped at max.
+func (c *config) backoff(n int) time.Duration {
+	shift := n - 1
+	if shift > 30 {
+		shift = 30 // past the cap regardless; avoid overflow
+	}
+	d := c.backoffBase << shift
+	if d > c.backoffMax || d <= 0 {
+		d = c.backoffMax
+	}
+	return d
+}
+
+// quarantine pulls arm idx out of routing at this site. Caller holds
+// the tuner mutex.
+func (st *siteState) quarantine(cfg *config, idx int) {
+	a := &st.arms[idx]
+	if a.quarantined {
+		return
+	}
+	a.quarantined = true
+	a.quarantines++
+	a.quarantineUntil = cfg.clock.Now().Add(cfg.backoff(a.quarantines))
+	st.nquar++
+	// A quarantined winner abdicates immediately: re-crown the best
+	// remaining trusted arm when one exists (when none does, choose()
+	// routes by soonest lift until a quarantine expires).
+	if st.phase == phaseExploit && idx == st.best {
+		if nb := st.argmin(); st.arms[nb].sampled && !st.arms[nb].quarantined {
+			st.best = nb
+			st.baseline = st.arms[nb].ewma
+		}
+	}
+}
+
+// liftExpired returns expired quarantines to service: the arm's cost
+// estimates are discarded with its distrust and the site drops back to
+// the measure phase, so the returning arm is burst-re-measured against
+// the incumbents' retained estimates and can re-win on merit. Caller
+// holds the tuner mutex.
+func (st *siteState) liftExpired(cfg *config, now time.Time) {
+	for i := range st.arms {
+		a := &st.arms[i]
+		if !a.quarantined || a.quarantineUntil.After(now) {
+			continue
+		}
+		a.quarantined = false
+		st.nquar--
+		a.resetEstimate()
+		if st.phase == phaseExploit {
+			st.phase = phaseMeasure
+			st.cursor = i
+		}
+	}
+}
+
+// soonestLift returns the quarantined arm whose backoff expires first —
+// the routing of last resort when every arm at a site is quarantined.
+func (st *siteState) soonestLift() int {
+	best := 0
+	for i := 1; i < len(st.arms); i++ {
+		if st.arms[i].quarantineUntil.Before(st.arms[best].quarantineUntil) {
+			best = i
+		}
+	}
+	return best
+}

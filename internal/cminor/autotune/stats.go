@@ -44,11 +44,28 @@ const switchHysteresis = 0.25
 // drift detector fires within a handful of samples.
 const clipFactor = 3.0
 
-// armStats is the cost estimate of one variant at one site.
+// armStats is the cost estimate — and trust state — of one variant at
+// one site.
 type armStats struct {
 	pulls   int64   // selections, counted at decision time
 	sampled bool    // at least one successful measurement recorded
 	ewma    float64 // nanoseconds, exponentially weighted
+	// Fault-containment accounting (see quarantine.go). The counters are
+	// cumulative for the site's lifetime — they survive drift reopens and
+	// quarantine lifts, unlike the cost estimate above.
+	faults          int64 // contained internal faults on this arm
+	degraded        int64 // calls served by trusted-fallback re-execution
+	diverged        int64 // audit-revealed wrong results
+	quarantines     int   // times this arm has been quarantined here
+	quarantined     bool  // currently out of routing
+	quarantineUntil time.Time
+}
+
+// resetEstimate discards the arm's cost estimate (a drift reopen or a
+// quarantine lift: the old measurements are no longer trusted) while
+// keeping the cumulative fault accounting.
+func (a *armStats) resetEstimate() {
+	a.pulls, a.sampled, a.ewma = 0, false, 0
 }
 
 // update folds one cost measurement into the estimate. The first
@@ -87,16 +104,22 @@ type siteState struct {
 	pulls    int64 // total selections at this site
 	explore  int64 // exploit-phase selections that were NOT the winner
 	reopens  int   // drift-triggered re-explorations
+	nquar    int   // arms currently quarantined (see quarantine.go)
 }
 
 func newSiteState(arms int) *siteState {
 	return &siteState{arms: make([]armStats, arms)}
 }
 
-// allMeasured reports whether every arm has met the measure-phase pull
-// quota.
+// allMeasured reports whether every arm in service has met the
+// measure-phase pull quota. Quarantined arms are out of service and do
+// not hold the phase open — they re-earn a quota when their backoff
+// lifts.
 func (st *siteState) allMeasured(minSamples int64) bool {
 	for i := range st.arms {
+		if st.arms[i].quarantined {
+			continue
+		}
 		if st.arms[i].pulls < minSamples {
 			return false
 		}
@@ -114,13 +137,14 @@ func (st *siteState) anySampled() bool {
 	return false
 }
 
-// argmin returns the sampled arm with the lowest EWMA (ties to the
-// lower index — the less optimized variant). Arms that never produced
-// a successful measurement are skipped; with none sampled it returns 0.
+// argmin returns the trusted sampled arm with the lowest EWMA (ties to
+// the lower index — the less optimized variant). Arms that never
+// produced a successful measurement, and quarantined arms, are skipped;
+// with no candidates it returns 0.
 func (st *siteState) argmin() int {
 	best, found := 0, false
 	for i := range st.arms {
-		if !st.arms[i].sampled {
+		if !st.arms[i].sampled || st.arms[i].quarantined {
 			continue
 		}
 		if !found || st.arms[i].ewma < st.arms[best].ewma {
@@ -130,11 +154,29 @@ func (st *siteState) argmin() int {
 	return best
 }
 
-// observe ingests one measurement for arm idx (ok=false when the call
-// faulted: the pull still counts, the cost does not) and advances the
-// site's phase machine: measure → exploit on quota, exploit → measure
-// when the winner's cost drifts past the tolerance band.
-func (st *siteState) observe(cfg *config, idx int, cost float64, ok bool) {
+// observe ingests one call outcome for arm idx (out.ok=false when the
+// cost is not a trustworthy measurement of the arm: program-level
+// faults, degraded calls, audits) and advances the site's phase
+// machine: measure → exploit on quota, exploit → measure when the
+// winner's cost drifts past the tolerance band. A contained internal
+// fault or an audit divergence quarantines the arm instead of feeding
+// the estimates (quarantine.go).
+func (st *siteState) observe(cfg *config, idx int, cost float64, out callOutcome) {
+	a := &st.arms[idx]
+	if out.fault {
+		a.faults++
+	}
+	if out.degraded {
+		a.degraded++
+	}
+	if out.diverged {
+		a.diverged++
+	}
+	if out.fault || out.diverged {
+		st.quarantine(cfg, idx)
+		return
+	}
+	ok := out.ok
 	if ok {
 		st.arms[idx].update(cfg.alpha, int64(cfg.minSamples), cost)
 	}
@@ -183,12 +225,13 @@ func (st *siteState) observe(cfg *config, idx int, cost float64, ok bool) {
 
 // reopen re-enters the measure phase after drift: the workload moved,
 // so every stale estimate is suspect — arms restart from scratch and
-// re-earn their quotas.
+// re-earn their quotas. Quarantine state and fault accounting survive:
+// drift says nothing about trust.
 func (st *siteState) reopen() {
 	st.phase = phaseMeasure
 	st.cursor = 0
 	for i := range st.arms {
-		st.arms[i] = armStats{}
+		st.arms[i].resetEstimate()
 	}
 	st.reopens++
 }
@@ -203,6 +246,12 @@ type ArmReport struct {
 	Pulls   int64
 	EWMA    time.Duration
 	Sampled bool
+	// Fault-containment accounting (cumulative for the site's lifetime).
+	Faults      int64 // contained internal faults on this arm
+	Degraded    int64 // calls served by trusted-fallback re-execution
+	Diverged    int64 // audit-revealed wrong results
+	Quarantines int   // times this arm has been quarantined here
+	Quarantined bool  // currently out of routing
 }
 
 // SiteReport is the introspectable state of one (function, class)
@@ -216,5 +265,8 @@ type SiteReport struct {
 	Pulls        int64
 	ExplorePulls int64
 	Reopens      int
-	Arms         []ArmReport
+	// QuarantinedArms counts the arms currently out of routing at this
+	// site (per-arm detail in Arms).
+	QuarantinedArms int
+	Arms            []ArmReport
 }

@@ -1,6 +1,9 @@
 package cminor
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Execution of lowered bytecode: one flat for/switch dispatch loop over
 // a dense []instr, operating on the frame's int64/float64 register
@@ -9,6 +12,30 @@ import "math"
 // the step opcodes run the same counter/limit comparison as
 // Instance.step, and the checked access opcodes raise the same
 // positioned *Diag panics as checkedElem.
+
+// bcFault annotates an internal panic that escaped the bytecode
+// dispatch loop with the function whose flat code was executing, so an
+// InternalFault's Recovered value names the faulting lowering unit even
+// through nested user calls.
+type bcFault struct {
+	fn    string
+	cause any
+}
+
+func (b *bcFault) String() string {
+	return fmt.Sprintf("bytecode dispatch fault in %s: %v", b.fn, b.cause)
+}
+
+// annotateBCFault wraps an unexpected panic value in a *bcFault,
+// passing expected program-level fault carriers (and already-annotated
+// faults from nested dispatch loops) through unchanged.
+func annotateBCFault(bc *bcFunc, r any) any {
+	switch r.(type) {
+	case *Diag, ctxDone, *bcFault:
+		return r
+	}
+	return &bcFault{fn: bc.name, cause: r}
+}
 
 // bcArr resolves an array operand: c >= 0 is a frame slot, c < 0 a
 // global slot (^c).
@@ -99,7 +126,18 @@ func execBC(fr *frame, bc *bcFunc) {
 			freg[p.slot] = fr.scalars[p.slot].F
 		}
 	}
-	defer bcFlushParams(fr, bc)
+	defer func() {
+		bcFlushParams(fr, bc)
+		if r := recover(); r != nil {
+			// Program-level faults (positioned *Diag, budget, ctx) pass
+			// through untouched — their text and type are the cross-backend
+			// parity contract. Anything else is an internal fault of the
+			// lowering: annotate it with the function whose flat code was
+			// dispatching, then let the containment boundary in
+			// Instance.attempt classify it.
+			panic(annotateBCFault(bc, r))
+		}
+	}()
 	ec := fr.ec
 	g := ec.g
 	file := ec.prog.fname

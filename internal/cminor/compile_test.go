@@ -1,6 +1,7 @@
 package cminor
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -558,15 +559,24 @@ int next() {
 
 func TestCompiledRuntimePanicBecomesError(t *testing.T) {
 	// A VLA so large that allocation faults must surface as an error
-	// from Call, never a process crash (the historical contract).
+	// from Call, never a process crash (the historical contract). Since
+	// the containment layer (resilience.go) the error is a structured
+	// *InternalFault carrying the variant's knob coordinates.
 	src := "void f(int n) {\n  double t[n][n];\n  t[0][0] = 1.0;\n}"
 	in := NewInterp(MustParse("big.c", src))
 	_, err := in.Call("f", IntV(1<<31))
 	if err == nil {
 		t.Fatal("expected an allocation error")
 	}
-	if !strings.Contains(err.Error(), "interpreting f") {
-		t.Errorf("unexpected error: %v", err)
+	var fault *InternalFault
+	if !errors.As(err, &fault) {
+		t.Fatalf("error is %T (%v), want *InternalFault", err, err)
+	}
+	if fault.Fn != "f" || fault.Backend != BackendCompiled {
+		t.Errorf("fault coordinates = %s/%s, want compiled/f", fault.Backend, fault.Fn)
+	}
+	if !strings.Contains(err.Error(), "internal fault in f") {
+		t.Errorf("unexpected error text: %v", err)
 	}
 }
 

@@ -2,10 +2,13 @@ package cminor
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // The engine API splits execution into an immutable, shareable *Program
@@ -140,6 +143,12 @@ type config struct {
 	opt      OptLevel
 	passes   PassMask
 	maxSteps int
+	// fallback enables snapshot/rollback + trusted re-execution on
+	// internal faults (resilience.go, WithFallback).
+	fallback bool
+	// inject is the deterministic fault-injection seam (faultinject.go,
+	// WithFaultInjector); nil in production.
+	inject FaultInjector
 }
 
 func defaultConfig() config {
@@ -205,6 +214,10 @@ type Program struct {
 	cfg   config
 	funcs map[string]*compiledFunc
 	nfun  int
+	// ref is the lazily-built trusted tier (generic O0, injector-free)
+	// that fallback re-execution and audits run on (resilience.go).
+	refOnce sync.Once
+	ref     *Program
 }
 
 // Compile resolves, typechecks and lowers f under the given options
@@ -369,6 +382,17 @@ type Instance struct {
 	// pools holds reusable frames per compiled function, so steady-state
 	// calls allocate nothing.
 	pools [][]*frame
+	// Resilience state (resilience.go): fb is the session's trusted-tier
+	// twin sharing this session's globals; snap is the reusable pre-call
+	// snapshot WithFallback captures; lastFault/degraded are the
+	// introspection taps of the most recent call; poisoned flags globals
+	// left unrecovered by an internal fault with no snapshot to roll
+	// back to.
+	fb        *Instance
+	snap      stateSnapshot
+	lastFault *InternalFault
+	degraded  bool
+	poisoned  bool
 }
 
 // NewInstance creates an execution session over p with fresh globals
@@ -445,8 +469,12 @@ func (ip *InstancePool) Get() *Instance {
 // zeroed: budgets are per-checkout, so a long-lived pool cycling
 // millions of calls never trips the runaway guard on inherited steps,
 // and a SetMaxSteps applied during one checkout is not observable in
-// the next (see SetMaxSteps). Instances belonging to a different
-// Program are dropped rather than pooled.
+// the next (see SetMaxSteps). A poisoned session — one whose globals an
+// internal fault left half-written with no snapshot to roll back
+// (see Instance.Poisoned) — is rebuilt with fresh global storage before
+// pooling, so corrupted state can never leak into the next checkout.
+// Instances belonging to a different Program are dropped rather than
+// pooled.
 func (ip *InstancePool) Put(inst *Instance) {
 	if inst == nil || inst.prog != ip.prog {
 		return
@@ -454,6 +482,22 @@ func (ip *InstancePool) Put(inst *Instance) {
 	inst.steps = 0
 	inst.lastSteps = 0
 	inst.maxSteps = ip.prog.cfg.maxSteps
+	inst.lastFault = nil
+	inst.degraded = false
+	if inst.poisoned {
+		inst.poisoned = false
+		if inst.g != nil {
+			inst.g = ip.prog.newGlobals()
+			if inst.fb != nil {
+				// The trusted-tier twin aliases the session's global frame;
+				// re-alias it to the rebuilt one.
+				inst.fb.g = inst.g
+			}
+		}
+		// A poisoned walker session's globals live in the Walker itself;
+		// drop it so the next checkout rebuilds from the initializers.
+		inst.wk = nil
+	}
 	if inst.wk != nil {
 		inst.wk.Steps = 0
 		inst.wk.MaxSteps = inst.maxSteps
@@ -559,28 +603,82 @@ func (s *Instance) CallContext(ctx context.Context, name string, args ...any) (V
 	return s.call(ctx, name, args)
 }
 
+// resolveCall looks up the callee and checks arity — the failures that
+// happen before any state is touched.
+func (s *Instance) resolveCall(name string, args []any) (*compiledFunc, error) {
+	cf, ok := s.prog.funcs[name]
+	if !ok {
+		return nil, fmt.Errorf("cminor: no function %q", name)
+	}
+	if params := cf.info.Decl.Params; len(args) != len(params) {
+		return nil, fmt.Errorf("cminor: %s expects %d args, got %d",
+			name, len(params), len(args))
+	}
+	return cf, nil
+}
+
+// call is the supervisor tier of one invocation: it resolves the
+// callee, consults the fault injector, optionally snapshots the mutable
+// state (WithFallback), runs the attempt inside the containment
+// boundary, and on an internal fault either rolls back and re-executes
+// on the trusted tier or surfaces the fault and poisons the session
+// (resilience.go).
 func (s *Instance) call(ctx context.Context, name string, args []any) (v Value, err error) {
 	// A call that fails before executing anything (unknown function,
 	// arity mismatch, pre-cancelled ctx) must not leave the previous
-	// call's count in the measurement tap.
+	// call's state in the introspection taps.
 	s.lastSteps = 0
+	s.degraded = false
+	s.lastFault = nil
 	if s.prog.cfg.backend == BackendWalker {
 		return s.walkerCall(ctx, name, args)
 	}
-	cf, ok := s.prog.funcs[name]
-	if !ok {
-		return Value{}, fmt.Errorf("cminor: no function %q", name)
-	}
-	params := cf.info.Decl.Params
-	if len(args) != len(params) {
-		return Value{}, fmt.Errorf("cminor: %s expects %d args, got %d",
-			name, len(params), len(args))
+	cf, err := s.resolveCall(name, args)
+	if err != nil {
+		return Value{}, err
 	}
 	if ctx != nil {
 		if cerr := ctx.Err(); cerr != nil {
 			return Value{}, fmt.Errorf("cminor: calling %s: %w", name, cerr)
 		}
 	}
+	var inj *Fault
+	if fi := s.prog.cfg.inject; fi != nil {
+		inj = fi.Decide(s.prog.cfg.backend, s.prog.cfg.opt, name)
+	}
+	snapped := false
+	if s.prog.cfg.fallback {
+		snapped = s.snap.capture(s, args)
+	}
+	startSteps := s.steps
+	v, err, fault := s.attempt(ctx, cf, name, args, inj)
+	if fault == nil {
+		return v, err
+	}
+	s.lastFault = fault
+	if !snapped {
+		// No snapshot to roll back to: the session's globals may hold the
+		// attempt's partial writes. Surface the fault and mark the state.
+		s.poisoned = true
+		return Value{}, fault
+	}
+	// Contained: restore the pre-call state (globals, argument arrays and
+	// cells), discard the attempt's step charge, and re-execute once on
+	// the trusted tier. The caller sees a correct result plus the
+	// LastCallDegraded flag — never the panic.
+	s.snap.restore(s)
+	s.steps = startSteps
+	s.degraded = true
+	return s.runFallback(ctx, name, args)
+}
+
+// attempt executes one call on the session's own backend inside the
+// containment boundary: any panic that is not a positioned *Diag or a
+// context fault is returned as a structured *InternalFault rather than
+// escaping — the process never dies on an engine bug. inj, when
+// non-nil, is the fault the injector chose for this call; every
+// injection point fires inside the boundary.
+func (s *Instance) attempt(ctx context.Context, cf *compiledFunc, name string, args []any, inj *Fault) (v Value, err error, fault *InternalFault) {
 	fr := s.getFrame(cf)
 	// copybacks approximate the historical shared-cell behaviour of
 	// *Value arguments bound to by-value scalar parameters: the raw
@@ -593,12 +691,12 @@ func (s *Instance) call(ctx context.Context, name string, args []any) (v Value, 
 	// may violate that (the historical interpreter binds them
 	// unconverted); such calls run the generically-compiled body.
 	mistyped := false
-	for i, p := range params {
+	for i, p := range cf.info.Decl.Params {
 		ref := cf.info.Params[i]
 		if arr, isArr := args[i].(*Array); isArr || ref.Kind == VarArray {
 			if !isArr || ref.Kind != VarArray {
 				s.putFrame(cf, fr)
-				return Value{}, fmt.Errorf("cminor: %s: array/parameter mismatch for %s", name, p.Name)
+				return Value{}, fmt.Errorf("cminor: %s: array/parameter mismatch for %s", name, p.Name), nil
 			}
 			fr.arrays[ref.Slot] = arr
 			continue
@@ -632,7 +730,7 @@ func (s *Instance) call(ctx context.Context, name string, args []any) (v Value, 
 			bindScalar(fr, ref, FloatV(a))
 		default:
 			s.putFrame(cf, fr)
-			return Value{}, fmt.Errorf("cminor: unsupported argument type %T for %s", a, p.Name)
+			return Value{}, fmt.Errorf("cminor: unsupported argument type %T for %s", a, p.Name), nil
 		}
 	}
 	s.ctx = ctx
@@ -649,36 +747,52 @@ func (s *Instance) call(ctx context.Context, name string, args []any) (v Value, 
 		})
 	}
 	defer func() {
-		s.ctx = nil
-		s.lastSteps = s.steps - startSteps
-		if stopWatch != nil && !stopWatch() {
-			// The watcher ran (or is running). Drain it so it cannot
-			// clobber a later call's limit.
-			for !s.watchDone.Load() {
-				runtime.Gosched()
-			}
+		// Recover FIRST, then tear down: teardown runs inside its own
+		// recover boundary, so a panic racing the AfterFunc stop/drain (or
+		// a copyback) can neither escape CallContext nor clobber the
+		// in-flight kernel fault.
+		r := recover()
+		if tr := s.teardown(startSteps, stopWatch, copybacks); r == nil {
+			r = tr
 		}
-		for _, cb := range copybacks {
-			cb()
+		if r == nil {
+			return
 		}
-		if r := recover(); r != nil {
-			switch d := r.(type) {
-			case *Diag:
-				err = fmt.Errorf("cminor: interpreting %s: %w", name, d)
-			case ctxDone:
-				err = fmt.Errorf("cminor: interpreting %s: %w", name, d.err)
-			default:
-				// Preserve the historical contract: any runtime fault in a
-				// kernel surfaces as an error, never a process crash.
-				err = fmt.Errorf("cminor: interpreting %s: %v", name, r)
-			}
+		switch d := r.(type) {
+		case *Diag:
+			err = fmt.Errorf("cminor: interpreting %s: %w", name, d)
+		case ctxDone:
+			err = fmt.Errorf("cminor: interpreting %s: %w", name, d.err)
+		default:
+			// An internal engine fault — anything that is not a positioned
+			// program-level diagnostic. Contain it as a structured error;
+			// the supervisor (call) decides between fallback and poisoning.
+			fault = s.internalFault(name, r)
 		}
 	}()
+	if inj != nil {
+		switch inj.Kind {
+		case FaultLatency:
+			if inj.Latency > 0 {
+				time.Sleep(inj.Latency)
+			}
+		case FaultPanic:
+			if inj.Point == FaultAtEntry {
+				panic(&injectedFault{s.prog.cfg.backend, s.prog.cfg.opt, name, FaultAtEntry})
+			}
+		}
+	}
 	body := cf.body
 	if mistyped {
 		body = cf.generic
 	}
 	body(fr)
+	if inj != nil && inj.Kind == FaultPanic {
+		// FaultAtExit — and, on backends without a mid-kernel poll
+		// checkpoint, FaultAtPoll — fires after the body completed, when
+		// globals and argument arrays hold the attempt's full mutations.
+		panic(&injectedFault{s.prog.cfg.backend, s.prog.cfg.opt, name, inj.Point})
+	}
 	// Copybacks read only scalar slots, which putFrame leaves intact;
 	// run them eagerly anyway so the frame is logically dead when pooled.
 	for _, cb := range copybacks {
@@ -687,7 +801,57 @@ func (s *Instance) call(ctx context.Context, name string, args []any) (v Value, 
 	copybacks = nil
 	ret := fr.ret
 	s.putFrame(cf, fr)
-	return ret, nil
+	if inj != nil && inj.Kind == FaultWrongResult {
+		ret = corruptValue(ret)
+	}
+	return ret, nil, nil
+}
+
+// teardown restores the session invariants after an attempt: detach the
+// context, settle the measurement tap, drain the cancellation watcher,
+// and commit copybacks. It runs under its own recover so a panic here
+// is reported to the containment boundary instead of escaping.
+func (s *Instance) teardown(startSteps int, stopWatch func() bool, copybacks []func()) (r any) {
+	defer func() { r = recover() }()
+	s.ctx = nil
+	s.lastSteps = s.steps - startSteps
+	if stopWatch != nil && !stopWatch() {
+		// The watcher ran (or is running). Drain it so it cannot
+		// clobber a later call's limit.
+		for !s.watchDone.Load() {
+			runtime.Gosched()
+		}
+	}
+	for _, cb := range copybacks {
+		cb()
+	}
+	return nil
+}
+
+// internalFault packages a recovered panic with the variant's full knob
+// coordinates and the goroutine stack at the recover point.
+func (s *Instance) internalFault(fn string, r any) *InternalFault {
+	buf := make([]byte, 16<<10)
+	buf = buf[:runtime.Stack(buf, false)]
+	return &InternalFault{
+		Backend:   s.prog.cfg.backend,
+		Opt:       s.prog.cfg.opt,
+		Passes:    s.prog.cfg.passes,
+		Fn:        fn,
+		Recovered: r,
+		Stack:     buf,
+	}
+}
+
+// corruptValue deterministically flips the low bit of a result — the
+// injected "silent miscompile" (FaultWrongResult) audits must catch.
+func corruptValue(v Value) Value {
+	if v.IsInt {
+		v.I ^= 1
+		return v
+	}
+	v.F = math.Float64frombits(math.Float64bits(v.F) ^ 1)
+	return v
 }
 
 // bindScalar places a by-value scalar argument into the frame, boxing a
@@ -702,8 +866,15 @@ func bindScalar(fr *frame, ref VarRef, v Value) {
 }
 
 // walkerCall runs a BackendWalker variant through a per-session Walker,
-// keeping the session's step accounting and context observation.
-func (s *Instance) walkerCall(ctx context.Context, name string, args []any) (Value, error) {
+// keeping the session's step accounting and context observation. The
+// whole exchange — entry injection, the walker body with its 16k-step
+// cancellation polls, teardown — runs inside a containment boundary, so
+// a panic racing the poll/teardown path surfaces as an *InternalFault
+// from CallContext, never an escaped panic. The walker is the reference
+// semantics, so there is no tier to fall back to: an internal fault
+// here poisons the session (its globals live in the Walker and may hold
+// the aborted attempt's partial writes).
+func (s *Instance) walkerCall(ctx context.Context, name string, args []any) (v Value, err error) {
 	if s.wk == nil {
 		s.wk = NewWalker(s.prog.res.File)
 	}
@@ -712,12 +883,60 @@ func (s *Instance) walkerCall(ctx context.Context, name string, args []any) (Val
 			return Value{}, fmt.Errorf("cminor: calling %s: %w", name, cerr)
 		}
 	}
+	var inj *Fault
+	if fi := s.prog.cfg.inject; fi != nil {
+		inj = fi.Decide(BackendWalker, s.prog.cfg.opt, name)
+	}
+	start := s.steps
 	s.wk.MaxSteps = s.maxSteps
-	s.wk.Steps = s.steps
+	s.wk.Steps = start
 	s.wk.ctx = ctx
-	v, err := s.wk.Call(name, args...)
-	s.wk.ctx = nil
-	s.lastSteps = s.wk.Steps - s.steps
-	s.steps = s.wk.Steps
+	defer func() {
+		r := recover()
+		s.wk.ctx = nil
+		s.wk.pollPanic = nil
+		s.lastSteps = s.wk.Steps - start
+		s.steps = s.wk.Steps
+		if r != nil {
+			fault := s.internalFault(name, r)
+			s.lastFault = fault
+			s.poisoned = true
+			v, err = Value{}, fault
+			return
+		}
+		var ifault *InternalFault
+		if errors.As(err, &ifault) {
+			// The walker's own boundary contained an unexpected panic (e.g.
+			// an injected poll-point fault mid-teardown race): record it on
+			// the session's taps too.
+			s.lastFault = ifault
+			s.poisoned = true
+		}
+	}()
+	if inj != nil {
+		switch inj.Kind {
+		case FaultLatency:
+			if inj.Latency > 0 {
+				time.Sleep(inj.Latency)
+			}
+		case FaultPanic:
+			sentinel := &injectedFault{BackendWalker, s.prog.cfg.opt, name, inj.Point}
+			if inj.Point == FaultAtEntry {
+				panic(sentinel)
+			}
+			// FaultAtPoll arms the walker's next 16k-step cancellation
+			// checkpoint; FaultAtExit fires after Call returns, below.
+			if inj.Point == FaultAtPoll {
+				s.wk.pollPanic = sentinel
+			}
+		}
+	}
+	v, err = s.wk.Call(name, args...)
+	if inj != nil && inj.Kind == FaultPanic && inj.Point == FaultAtExit {
+		panic(&injectedFault{BackendWalker, s.prog.cfg.opt, name, FaultAtExit})
+	}
+	if inj != nil && inj.Kind == FaultWrongResult && err == nil {
+		v = corruptValue(v)
+	}
 	return v, err
 }

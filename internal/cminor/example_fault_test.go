@@ -1,0 +1,52 @@
+package cminor_test
+
+import (
+	"fmt"
+
+	cm "socrates/internal/cminor"
+)
+
+// ExampleWithFaultInjector demonstrates the fault-containment pipeline
+// end to end: a scripted injector panics inside the optimized backend
+// on the second call, and with WithFallback enabled the caller still
+// receives the correct result — the engine rolls the session state
+// back and re-executes the call on the trusted reference tier, marking
+// it degraded.
+func ExampleWithFaultInjector() {
+	file := cm.MustParse("demo.c", `
+int calls;
+int fib(int n) {
+  calls = calls + 1;
+  int a = 0;
+  int b = 1;
+  for (int i = 0; i < n; i++) { int t = a + b; a = b; b = t; }
+  return a;
+}
+`)
+	inj := cm.NewScriptedInjector(cm.FaultRule{
+		Backend: cm.BackendCompiled, AnyOpt: true, Fn: "fib", Call: 2,
+		Kind: cm.FaultPanic, Point: cm.FaultAtExit,
+	})
+	prog, err := cm.Compile(file,
+		cm.WithOptLevel(cm.O3),
+		cm.WithFaultInjector(inj),
+		cm.WithFallback(true))
+	if err != nil {
+		panic(err)
+	}
+	inst := prog.NewInstance()
+	for call := 1; call <= 3; call++ {
+		v, err := inst.Call("fib", cm.IntV(10))
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("call %d: fib(10)=%d degraded=%v\n", call, v.Int(), inst.LastCallDegraded())
+	}
+	calls, _ := inst.GlobalScalar("calls")
+	fmt.Printf("calls=%d poisoned=%v\n", calls.Int(), inst.Poisoned())
+	// Output:
+	// call 1: fib(10)=55 degraded=false
+	// call 2: fib(10)=55 degraded=true
+	// call 3: fib(10)=55 degraded=false
+	// calls=3 poisoned=false
+}

@@ -201,6 +201,15 @@ func (g *diffGen) loop(indent string, depth int) {
 // parameters (escape demotion).
 func generateDiffKernel(seed int64) string {
 	g := &diffGen{rng: rand.New(rand.NewSource(seed))}
+	// File-scope state: every kernel updates the globals from its
+	// computed results, so the rollback machinery of the fault-injection
+	// leg (fuzz_chaos_test.go) has real mutable global state to restore
+	// bit-exactly. The globals are pure sinks — they never feed the
+	// return value or the argument arrays — so the no-fault differential
+	// comparisons below are unaffected by per-instance global histories
+	// (the tuner-routed rounds run on pooled instances whose globals
+	// persist across checkouts).
+	g.sb.WriteString("int gtick;\ndouble gacc;\ndouble gbuf[8];\n")
 	fmt.Fprintf(&g.sb, "int hint(int p) { return (p * %d + %d) %% %d; }\n",
 		1+g.rng.Intn(5), g.rng.Intn(7), 1+g.rng.Intn(9))
 	fmt.Fprintf(&g.sb,
@@ -212,9 +221,13 @@ func generateDiffKernel(seed int64) string {
 	g.sb.WriteString("  int i0; int i1; int i2;\n")
 	fmt.Fprintf(&g.sb, "  int s = %s;\n", g.intExpr(1))
 	fmt.Fprintf(&g.sb, "  double acc = %s;\n", g.floatExpr(1))
+	g.sb.WriteString("  gtick = gtick + 1;\n")
 	for k := 0; k <= g.rng.Intn(3); k++ {
 		g.loop("  ", 2+g.rng.Intn(2))
 	}
+	g.sb.WriteString("  gacc = gacc + acc + s;\n")
+	g.sb.WriteString("  gbuf[0] = gacc;\n")
+	g.sb.WriteString("  gbuf[n - 1] = gbuf[n - 1] + acc;\n")
 	g.sb.WriteString("  return acc + s;\n}\n")
 	return g.sb.String()
 }

@@ -1,0 +1,401 @@
+package cminor
+
+import (
+	"context"
+	"fmt"
+	"math"
+)
+
+// Fault containment and graceful degradation. The engine's optimized
+// backends — the closure compiler at O1–O3 and the flat-bytecode
+// machine at O4 — are large, aggressive lowerings; a lowering bug, a
+// bad hoist proof or an index error inside them must not take down a
+// process that serves many tenants from one shared Program. This file
+// implements the supervisor tier:
+//
+//	detect    every call runs inside a recover boundary that separates
+//	          program-level faults (positioned *Diag, ctx cancellation,
+//	          step budget) from internal engine panics;
+//	contain   an internal panic becomes a structured *InternalFault
+//	          carrying the variant's full knob coordinates and the
+//	          recovered value + stack — the process never dies;
+//	rollback  with WithFallback enabled, mutable state visible to the
+//	          caller (the instance's global frame, argument arrays and
+//	          cells) is snapshotted on the way in and restored after an
+//	          internal fault, so a half-written attempt leaves no trace;
+//	fallback  the call is transparently re-executed once on the trusted
+//	          reference tier (the generic O0 closures), so the caller
+//	          sees a correct result plus an introspectable "degraded"
+//	          flag (Instance.LastCallDegraded) instead of an error;
+//	quarantine the autotuner (internal/cminor/autotune) reads the same
+//	          introspection taps to pull a faulting variant out of
+//	          routing with exponential backoff.
+//
+// Containment is always on. Rollback + fallback are opt-in
+// (WithFallback) because the snapshot is a real copy of the call's
+// mutable state; without it an internal fault poisons the instance
+// (Instance.Poisoned) — its globals may hold partial writes from the
+// aborted attempt — and InstancePool.Put rebuilds poisoned sessions
+// rather than recycling their state.
+
+// InternalFault is a contained internal engine panic: anything
+// recovered at the call boundary that is not a positioned program-level
+// *Diag or a context cancellation. It identifies the exact variant that
+// misbehaved — backend, opt level, pass mask — so a selection layer can
+// quarantine that arm, and carries the recovered value and stack for
+// diagnosis.
+type InternalFault struct {
+	Backend   Backend
+	Opt       OptLevel
+	Passes    PassMask
+	Fn        string
+	Recovered any    // the recovered panic value
+	Stack     []byte // goroutine stack at the recover point
+}
+
+// Error renders the fault with its variant coordinates.
+func (f *InternalFault) Error() string {
+	return fmt.Sprintf("internal fault in %s [%s %s passes=%s]: %v",
+		f.Fn, f.Backend, f.Opt, f.Passes, f.Recovered)
+}
+
+// WithFallback enables trusted-fallback re-execution: each call on the
+// variant snapshots its mutable state (the instance's global frame plus
+// argument arrays and cells) before executing, and an internal fault
+// rolls the state back and re-executes the call once on the trusted
+// reference tier — the generic O0 closures, injector-free. The caller
+// then sees the reference result and Instance.LastCallDegraded reports
+// true; without fallback an internal fault surfaces as an
+// *InternalFault error and poisons the instance. The snapshot is a real
+// copy bounded by MaxSnapshotElems; calls whose state exceeds the bound
+// run uncontained-state (fault ⇒ poisoned), never half-protected.
+// Fallback is inert on the walker backend — it is the reference
+// semantics already.
+func WithFallback(on bool) Option {
+	return func(c *config) { c.fallback = on }
+}
+
+// MaxSnapshotElems bounds the total float64 elements (global arrays
+// plus argument arrays) a WithFallback call will copy; beyond it the
+// call skips the snapshot and an internal fault poisons the instance
+// instead of degrading gracefully. It is a variable so harnesses can
+// tighten it to exercise the overflow path.
+var MaxSnapshotElems = 4 << 20
+
+// stateSnapshot is one call's copy of the mutable state the caller can
+// observe: the instance's global frame, argument arrays, and argument
+// cells (*Value args, both pointer-parameter cells and by-value
+// copyback targets). Instances keep one as reusable scratch so
+// steady-state resilient calls allocate only when shapes grow.
+type stateSnapshot struct {
+	scalars  []Value
+	arrays   [][]float64
+	argArrs  []*Array
+	argData  [][]float64
+	cells    []*Value
+	cellVals []Value
+}
+
+// snapshotSize totals the elements a snapshot of (s, args) would copy.
+func snapshotSize(s *Instance, args []any) int {
+	total := 0
+	for _, a := range s.g.arrays {
+		total += len(a.Data)
+	}
+	for _, a := range args {
+		if arr, ok := a.(*Array); ok && arr != nil {
+			total += len(arr.Data)
+		}
+	}
+	return total
+}
+
+// grow returns dst resized to n, reusing its backing store when it can.
+func grow(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		return make([]float64, n)
+	}
+	return dst[:n]
+}
+
+// capture copies the call's mutable state into sn, reusing sn's
+// buffers. It reports false — capturing nothing — when the state
+// exceeds MaxSnapshotElems.
+func (sn *stateSnapshot) capture(s *Instance, args []any) bool {
+	if snapshotSize(s, args) > MaxSnapshotElems {
+		return false
+	}
+	sn.scalars = append(sn.scalars[:0], s.g.scalars...)
+	if cap(sn.arrays) < len(s.g.arrays) {
+		sn.arrays = make([][]float64, len(s.g.arrays))
+	}
+	sn.arrays = sn.arrays[:len(s.g.arrays)]
+	for i, a := range s.g.arrays {
+		sn.arrays[i] = grow(sn.arrays[i], len(a.Data))
+		copy(sn.arrays[i], a.Data)
+	}
+	sn.argArrs = sn.argArrs[:0]
+	sn.cells = sn.cells[:0]
+	sn.cellVals = sn.cellVals[:0]
+	n := 0
+	for _, a := range args {
+		switch v := a.(type) {
+		case *Array:
+			if v == nil {
+				continue
+			}
+			sn.argArrs = append(sn.argArrs, v)
+			if cap(sn.argData) <= n {
+				sn.argData = append(sn.argData, nil)
+			}
+			sn.argData = sn.argData[:n+1]
+			sn.argData[n] = grow(sn.argData[n], len(v.Data))
+			copy(sn.argData[n], v.Data)
+			n++
+		case *Value:
+			if v == nil {
+				continue
+			}
+			sn.cells = append(sn.cells, v)
+			sn.cellVals = append(sn.cellVals, *v)
+		}
+	}
+	sn.argData = sn.argData[:n]
+	return true
+}
+
+// restore writes the captured state back: globals, argument arrays and
+// argument cells return bit-for-bit to their pre-call contents.
+func (sn *stateSnapshot) restore(s *Instance) {
+	copy(s.g.scalars, sn.scalars)
+	for i, a := range s.g.arrays {
+		copy(a.Data, sn.arrays[i])
+	}
+	for i, arr := range sn.argArrs {
+		copy(arr.Data, sn.argData[i])
+	}
+	for i, c := range sn.cells {
+		*c = sn.cellVals[i]
+	}
+}
+
+// equalState reports whether the captured state matches the CURRENT
+// state of (s, args) bit-for-bit — the audit comparison between an
+// attempt's post-state and the reference re-execution's post-state.
+func (sn *stateSnapshot) equalState(s *Instance, args []any) bool {
+	for i, v := range sn.scalars {
+		if !valueBitsEqual(v, s.g.scalars[i]) {
+			return false
+		}
+	}
+	for i, a := range s.g.arrays {
+		if !floatBitsEqual(sn.arrays[i], a.Data) {
+			return false
+		}
+	}
+	for i, arr := range sn.argArrs {
+		if !floatBitsEqual(sn.argData[i], arr.Data) {
+			return false
+		}
+	}
+	for i, c := range sn.cells {
+		if !valueBitsEqual(sn.cellVals[i], *c) {
+			return false
+		}
+	}
+	return true
+}
+
+// valueBitsEqual is bit-exact Value equality (NaNs compare by payload,
+// like the differential fuzz oracle).
+func valueBitsEqual(a, b Value) bool {
+	return a.IsInt == b.IsInt && a.I == b.I &&
+		math.Float64bits(a.F) == math.Float64bits(b.F)
+}
+
+func floatBitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// reference returns (building once) the trusted tier of this program:
+// the same resolved source lowered with the generic O0 closures,
+// injector-free and fallback-free. Fallback re-execution and audits run
+// on it; it shares the front-end side tables with p, so its global slot
+// layout is identical and an Instance's global frame can be shared
+// between the optimized and the reference tier.
+func (p *Program) reference() *Program {
+	p.refOnce.Do(func() {
+		cfg := p.cfg
+		cfg.backend = BackendCompiled
+		cfg.opt = O0
+		cfg.passes = 0
+		cfg.fallback = false
+		cfg.inject = nil
+		p.ref = lower(p.fname, p.res, p.ti, cfg)
+	})
+	return p.ref
+}
+
+// fallbackInstance returns (building once) the session's trusted-tier
+// twin: an Instance of the reference variant that aliases THIS
+// session's global frame, so a fallback re-execution reads the
+// rolled-back globals and its writes persist in the session.
+func (s *Instance) fallbackInstance() *Instance {
+	if s.fb == nil {
+		s.fb = s.prog.reference().NewInstance()
+		s.fb.g = s.g
+	}
+	return s.fb
+}
+
+// runFallback re-executes the call on the trusted tier after rollback,
+// keeping the session's step accounting continuous: the faulted
+// attempt's steps were rolled back with the state, so the committed
+// execution is the only one the session (and LastCallSteps) charges.
+func (s *Instance) runFallback(ctx context.Context, name string, args []any) (Value, error) {
+	fb := s.fallbackInstance()
+	fb.maxSteps = s.maxSteps
+	fb.steps = s.steps
+	v, err := fb.call(ctx, name, args)
+	s.steps = fb.steps
+	s.lastSteps = fb.lastSteps
+	if fb.lastFault != nil || fb.poisoned {
+		// The trusted tier itself faulted internally: the shared global
+		// frame is suspect, and there is no tier left to degrade to.
+		s.poisoned = true
+	}
+	return v, err
+}
+
+// LastCallDegraded reports whether the most recent Call/CallContext was
+// served by trusted-fallback re-execution (or, for CallAudited, whether
+// the audit found the attempt faulty or divergent) rather than by the
+// variant's own backend. The result the caller received is correct
+// either way; the flag is the routing signal selection layers consume.
+func (s *Instance) LastCallDegraded() bool { return s.degraded }
+
+// LastCallFault returns the contained InternalFault of the most recent
+// call, or nil if it ran clean. It is set both when the fault was
+// degraded away (fallback succeeded) and when it surfaced as an error.
+func (s *Instance) LastCallFault() *InternalFault { return s.lastFault }
+
+// Poisoned reports whether an internal fault left this session's global
+// state unrecovered (no snapshot was available to roll back). Calls on
+// a poisoned session still execute, but its file-scope globals may hold
+// partial writes from the aborted attempt; InstancePool.Put rebuilds
+// poisoned sessions instead of recycling their state.
+func (s *Instance) Poisoned() bool { return s.poisoned }
+
+// GlobalScalar returns a copy of the named file-scope scalar's current
+// value in this session. It is the introspection tap differential
+// harnesses use to assert globals bit-exactly across backends.
+func (s *Instance) GlobalScalar(name string) (Value, bool) {
+	if s.prog.cfg.backend == BackendWalker {
+		if s.wk == nil {
+			s.wk = NewWalker(s.prog.res.File)
+		}
+		return s.wk.GlobalScalar(name)
+	}
+	for i := range s.prog.res.Scalars {
+		if s.prog.res.Scalars[i].Name == name {
+			return s.g.scalars[i], true
+		}
+	}
+	return Value{}, false
+}
+
+// GlobalArray returns the named file-scope array of this session (the
+// live storage, not a copy).
+func (s *Instance) GlobalArray(name string) (*Array, bool) {
+	if s.prog.cfg.backend == BackendWalker {
+		if s.wk == nil {
+			s.wk = NewWalker(s.prog.res.File)
+		}
+		return s.wk.GlobalArray(name)
+	}
+	for i := range s.prog.res.Arrays {
+		if s.prog.res.Arrays[i].Name == name {
+			return s.g.arrays[i], true
+		}
+	}
+	return nil, false
+}
+
+// CallAudited is Call with a trust audit: the call executes on this
+// session's variant, then — from the same pre-call state, restored by
+// rollback — once more on the trusted reference tier, and the two
+// outcomes are compared bit-exactly (returned value, error, globals,
+// argument arrays and cells). The reference outcome is what the caller
+// receives, so a silently-miscompiling variant cannot leak a wrong
+// result through an audited call; diverged reports the mismatch.
+// Selection layers sample audits to catch wrong-result faults that
+// containment alone cannot see. States larger than MaxSnapshotElems
+// fall back to the ordinary (resilient) call path with diverged=false.
+func (s *Instance) CallAudited(ctx context.Context, name string, args ...any) (v Value, diverged bool, err error) {
+	s.lastSteps = 0
+	s.degraded = false
+	s.lastFault = nil
+	if s.prog.cfg.backend == BackendWalker {
+		// The walker is the reference semantics — nothing to audit against.
+		v, err = s.walkerCall(ctx, name, args)
+		return v, false, err
+	}
+	cf, err := s.resolveCall(name, args)
+	if err != nil {
+		return Value{}, false, err
+	}
+	if ctx != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return Value{}, false, fmt.Errorf("cminor: calling %s: %w", name, cerr)
+		}
+	}
+	var pre stateSnapshot
+	if !pre.capture(s, args) {
+		v, err = s.call(ctx, name, args)
+		return v, false, err
+	}
+	var inj *Fault
+	if fi := s.prog.cfg.inject; fi != nil {
+		inj = fi.Decide(s.prog.cfg.backend, s.prog.cfg.opt, name)
+	}
+	startSteps := s.steps
+	v1, err1, fault := s.attempt(ctx, cf, name, args, inj)
+	var post stateSnapshot
+	post.capture(s, args) // same shapes as pre: cannot exceed the bound
+	pre.restore(s)
+	s.steps = startSteps
+	v, err = s.runFallback(ctx, name, args)
+	if fault != nil {
+		// A contained fault is quarantine signal enough on its own; it is
+		// reported through LastCallFault, not as a divergence.
+		s.degraded = true
+		s.lastFault = fault
+		return v, false, err
+	}
+	if !outcomeEqual(v1, err1, v, err) || !post.equalState(s, args) {
+		s.degraded = true
+		return v, true, err
+	}
+	return v, false, err
+}
+
+// outcomeEqual compares two call outcomes bit-exactly: equal values on
+// success, equal fault text on failure (the parity contract guarantees
+// identical fault text and position across backends).
+func outcomeEqual(v1 Value, err1 error, v2 Value, err2 error) bool {
+	if (err1 == nil) != (err2 == nil) {
+		return false
+	}
+	if err1 != nil {
+		return err1.Error() == err2.Error()
+	}
+	return valueBitsEqual(v1, v2)
+}

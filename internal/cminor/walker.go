@@ -3,6 +3,7 @@ package cminor
 import (
 	"context"
 	"fmt"
+	"runtime"
 )
 
 // Walker is the original single-pass tree-walking interpreter. Every
@@ -30,6 +31,10 @@ type Walker struct {
 	// ctx, when set by a walker-backend Instance, is polled at step
 	// checkpoints so CallContext cancellation works on this backend too.
 	ctx context.Context
+	// pollPanic, when armed by the fault injector (engine.walkerCall), is
+	// raised at the next cancellation-poll checkpoint — the mid-kernel
+	// point that races CallContext teardown.
+	pollPanic any
 }
 
 type wbinding struct {
@@ -85,6 +90,27 @@ func NewWalker(f *File) *Walker {
 
 type returnSignal struct{ v Value }
 
+// GlobalScalar returns a copy of the named file-scope scalar's current
+// value — the walker half of the Instance.GlobalScalar introspection
+// tap differential harnesses compare across backends.
+func (w *Walker) GlobalScalar(name string) (Value, bool) {
+	b, ok := w.globals[name]
+	if !ok || b.scalar == nil {
+		return Value{}, false
+	}
+	return *b.scalar, true
+}
+
+// GlobalArray returns the named file-scope array (the live storage, not
+// a copy).
+func (w *Walker) GlobalArray(name string) (*Array, bool) {
+	b, ok := w.globals[name]
+	if !ok || b.arr == nil {
+		return nil, false
+	}
+	return b.arr, true
+}
+
 // Call invokes the named function. Args must be *Array for array
 // parameters, Value for scalar parameters, and *Value for pointer
 // parameters (shared cell).
@@ -96,8 +122,20 @@ func (w *Walker) Call(name string, args ...any) (v Value, err error) {
 				v = rr.v
 			case ctxDone:
 				err = fmt.Errorf("cminor: interpreting %s: %w", name, rr.err)
-			default:
+			case *Diag, string:
+				// The walker's program-level faults: positioned diagnostics
+				// from the shared runtime (arith, subscripts) and the
+				// historical string panics (step budget, undefined names).
 				err = fmt.Errorf("cminor: interpreting %s: %v", name, r)
+			default:
+				// Anything else is an internal fault — an engine bug or an
+				// injected panic (possibly at the cancellation-poll
+				// checkpoint, racing CallContext teardown). Contain it as a
+				// structured error; it must never escape as a panic.
+				buf := make([]byte, 16<<10)
+				buf = buf[:runtime.Stack(buf, false)]
+				err = &InternalFault{Backend: BackendWalker, Fn: name,
+					Recovered: r, Stack: buf}
 			}
 		}
 	}()
@@ -138,7 +176,11 @@ func (w *Walker) step() {
 	if w.Steps > w.MaxSteps {
 		panic("interpreter step budget exceeded")
 	}
-	if w.ctx != nil && w.Steps&(ctxPollStride-1) == 0 {
+	if (w.ctx != nil || w.pollPanic != nil) && w.Steps&(ctxPollStride-1) == 0 {
+		if p := w.pollPanic; p != nil {
+			w.pollPanic = nil
+			panic(p)
+		}
 		if err := w.ctx.Err(); err != nil {
 			panic(ctxDone{err})
 		}
