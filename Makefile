@@ -2,10 +2,10 @@
 # PRs: it writes the full benchmark event stream (go test -json) to
 # BENCH_$(PR).json so successive PRs can be diffed.
 
-PR ?= 7
+PR ?= 8
 BENCHCOUNT ?= 5
 
-.PHONY: all build test test-race vet fmt lint chaos bench bench-smoke
+.PHONY: all build test test-race vet fmt lint chaos serve-sim bench bench-smoke
 
 all: build test
 
@@ -43,6 +43,15 @@ lint: vet
 chaos:
 	go test -race -count=1 ./internal/cminor/ -run 'TestChaosInjectedFaultsStayBitExact'
 	go test -race -count=1 ./internal/cminor/autotune/ -run 'TestQuarantine|TestAllArmsQuarantined|TestAuditCatches|TestConcurrentChaos'
+
+# Serving-layer suite under the race detector: the deterministic
+# fake-clock scheduler simulations (admission order, quota exhaustion
+# and refill, batch coalescing, both shed points, the golden status
+# line), the 12-goroutine live stress test with per-call bit-exactness,
+# and the InstancePool churn/leak test backing it.
+serve-sim:
+	go test -race -count=1 ./internal/cminor/serve/
+	go test -race -count=1 ./internal/cminor/ -run 'TestInstancePoolStress'
 
 # Full benchmark sweep, recorded as JSON for cross-PR tracking. The
 # `-bench .` regex includes the *Parallel benchmarks (shared-Program

@@ -159,6 +159,10 @@ type AutoTuner struct {
 	mu    sync.Mutex
 	rng   splitmix64
 	sites map[siteKey]*siteState
+	// counters indexes each site's atomic counter block for the
+	// lock-free Counters() read path (counters.go): populated once at
+	// site creation, read by scrapers without the tuner mutex.
+	counters sync.Map // siteKey -> *siteCounters
 }
 
 // New wraps prog in an AutoTuner. The grid is validated eagerly (an
@@ -249,9 +253,16 @@ func (t *AutoTuner) site(key siteKey) *siteState {
 	if st == nil {
 		st = newSiteState(len(t.cfg.grid))
 		t.sites[key] = st
+		t.counters.Store(key, st.ctr)
 	}
 	return st
 }
+
+// Classify reports the input-size class the tuner's classifier assigns
+// to an argument set — the second half of a site key. Serving layers
+// use it to group requests that will share a tuning site (and therefore
+// batch well) without duplicating the classifier.
+func (t *AutoTuner) Classify(args []any) int { return t.cfg.classify(args) }
 
 // Call routes one invocation of the named function through the
 // explore/exploit policy: a variant is selected for the call's

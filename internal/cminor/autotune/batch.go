@@ -1,0 +1,150 @@
+package autotune
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	cm "socrates/internal/cminor"
+)
+
+// Batched routing. A serving layer that coalesces same-(function,
+// input-class) requests wants them to share one policy decision and one
+// warm checked-out Instance: switching variants call-to-call is itself
+// expensive (cold closure graph, predictor/icache thrash — the reason
+// the measure phase samples in bursts), and a pool checkout per call
+// adds a lock round-trip the batch can amortize. CallBatch is that
+// hook: the whole batch rides a single arm selection on a single pooled
+// session, while every call is still measured and observed
+// individually, so the estimates see exactly the back-to-back sample
+// shape they prefer.
+
+// BatchCall is one invocation in an AutoTuner.CallBatch batch: the
+// inputs (Ctx may be nil), and the per-call results CallBatch fills in.
+type BatchCall struct {
+	Ctx  context.Context
+	Args []any
+
+	// Results, written by CallBatch.
+	Ret cm.Value
+	Err error
+	// Steps is the call's statement count (Instance.LastCallSteps) —
+	// the deterministic cost a serving layer debits step budgets with.
+	Steps int
+	// Degraded reports the call was served by trusted-fallback
+	// re-execution after a contained internal fault (resilience.go).
+	Degraded bool
+	// Fault is the contained internal fault of the call, nil when it
+	// ran clean (set both when fallback degraded it away and when it
+	// surfaced as Err).
+	Fault *cm.InternalFault
+}
+
+// CallBatch routes a batch of invocations of fn through ONE
+// explore/exploit decision: a single arm is selected for the batch's
+// (function, input-class) site — the class of the first entry; callers
+// group entries with Classify — and a single pooled Instance of that
+// arm runs every call back-to-back. Each call is measured and observed
+// individually, exactly as if routed through Call, so estimates,
+// quarantine signals and audit cadence behave identically; the batch
+// only amortizes the selection, the checkout, and the variant switch.
+//
+// Per-call outcomes (value, error, steps, degradation) are written into
+// the batch entries; the returned error is reserved for batch-level
+// failures (unknown function, variant materialization). A session
+// poisoned mid-batch is recycled through the pool — which rebuilds its
+// globals — before the next entry runs, so one entry's contained fault
+// cannot leak half-written state into its batch-mates.
+func (t *AutoTuner) CallBatch(fn string, batch []BatchCall) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	if !t.base.HasFunc(fn) {
+		return fmt.Errorf("autotune: no function %q", fn)
+	}
+	key := siteKey{fn: fn, class: t.cfg.classify(batch[0].Args)}
+
+	t.mu.Lock()
+	st := t.site(key)
+	idx := st.choose(&t.cfg, &t.rng)
+	audit := t.cfg.auditEvery > 0 && st.pulls%t.cfg.auditEvery == 0
+	// The riders follow the leader's arm: charge their pulls the same
+	// way choose would have, without re-running the policy.
+	for range batch[1:] {
+		st.pulls++
+		st.ctr.pulls.Add(1)
+		st.arms[idx].pulls++
+		if st.phase == phaseExploit && idx != st.best {
+			st.explore++
+		}
+	}
+	t.mu.Unlock()
+
+	slot, err := t.variant(idx)
+	if err != nil {
+		return err
+	}
+	costs := make([]float64, len(batch))
+	outs := make([]callOutcome, len(batch))
+	inst := slot.pool.Get()
+	for i := range batch {
+		b := &batch[i]
+		// Audit cadence is a per-site decision; in a batch it lands on
+		// the leader — one reference re-execution per audited batch.
+		doAudit := audit && i == 0
+		var diverged bool
+		var cost time.Duration
+		if cs, isClock := t.sampler.(clockSampler); isClock && !doAudit {
+			t0 := cs.clock.Now()
+			if b.Ctx != nil {
+				b.Ret, b.Err = inst.CallContext(b.Ctx, fn, b.Args...)
+			} else {
+				b.Ret, b.Err = inst.Call(fn, b.Args...)
+			}
+			cost = cs.clock.Now().Sub(t0)
+		} else {
+			cost, b.Err = t.sampler.Sample(fn, t.cfg.grid[idx], key.class, func() error {
+				var e error
+				switch {
+				case doAudit:
+					b.Ret, diverged, e = inst.CallAudited(b.Ctx, fn, b.Args...)
+				case b.Ctx != nil:
+					b.Ret, e = inst.CallContext(b.Ctx, fn, b.Args...)
+				default:
+					b.Ret, e = inst.Call(fn, b.Args...)
+				}
+				return e
+			})
+		}
+		b.Steps = inst.LastCallSteps()
+		b.Degraded = inst.LastCallDegraded()
+		b.Fault = inst.LastCallFault()
+		out := callOutcome{
+			ok:       b.Err == nil && !doAudit,
+			fault:    b.Fault != nil,
+			degraded: b.Degraded,
+			diverged: diverged,
+		}
+		var ifault *cm.InternalFault
+		if errors.As(b.Err, &ifault) {
+			out.fault = true
+		}
+		costs[i], outs[i] = float64(cost), out
+		if inst.Poisoned() {
+			// Half-written globals must not serve the rest of the batch:
+			// Put repairs poisoned sessions, so cycle through the pool.
+			slot.pool.Put(inst)
+			inst = slot.pool.Get()
+		}
+	}
+	slot.pool.Put(inst)
+
+	t.mu.Lock()
+	st = t.site(key)
+	for i := range outs {
+		st.observe(&t.cfg, idx, costs[i], outs[i])
+	}
+	t.mu.Unlock()
+	return nil
+}

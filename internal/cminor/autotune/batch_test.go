@@ -1,0 +1,148 @@
+package autotune
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	cm "socrates/internal/cminor"
+)
+
+// specSampler records which variant every sampled call ran on, so batch
+// tests can assert the whole batch shared one arm.
+type specSampler struct {
+	inner simSampler
+	specs []VariantSpec
+}
+
+func (s *specSampler) Sample(fn string, spec VariantSpec, class int, call func() error) (time.Duration, error) {
+	s.specs = append(s.specs, spec)
+	return s.inner.Sample(fn, spec, class, call)
+}
+
+// TestCallBatchSharesOneDecision pins the batching contract: a k-entry
+// batch charges k pulls to exactly one arm, runs every call on it, and
+// produces the same values as individual calls.
+func TestCallBatchSharesOneDecision(t *testing.T) {
+	prog := simProgram(t)
+	want, err := prog.NewInstance().Call("probe", simArgs(16)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler := &specSampler{inner: simSampler{cost: flatCost(map[string]time.Duration{
+		"O0": 100 * time.Microsecond, "O2": 30 * time.Microsecond})}}
+	tn, err := New(prog,
+		WithGrid(VariantSpec{Opt: cm.O0}, VariantSpec{Opt: cm.O2}),
+		WithMinSamples(2),
+		WithSampler(sampler),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]BatchCall, 4)
+	for i := range batch {
+		batch[i].Args = simArgs(16)
+	}
+	if err := tn.CallBatch("probe", batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(sampler.specs) != 4 {
+		t.Fatalf("sampled %d calls, want 4", len(sampler.specs))
+	}
+	for i, b := range batch {
+		if b.Err != nil {
+			t.Fatalf("entry %d: %v", i, b.Err)
+		}
+		if b.Ret != want {
+			t.Fatalf("entry %d: got %v, want %v", i, b.Ret, want)
+		}
+		if b.Steps == 0 {
+			t.Fatalf("entry %d: no step accounting", i)
+		}
+		if sampler.specs[i] != sampler.specs[0] {
+			t.Fatalf("batch split across arms: %v vs %v", sampler.specs[i], sampler.specs[0])
+		}
+	}
+	snaps := tn.Snapshot()
+	if len(snaps) != 1 || snaps[0].Pulls != 4 {
+		t.Fatalf("want one site with 4 pulls, got %+v", snaps)
+	}
+	var armPulls int64
+	for _, a := range snaps[0].Arms {
+		if a.Pulls != 0 && a.Pulls != 4 {
+			t.Fatalf("pulls split across arms: %+v", snaps[0].Arms)
+		}
+		armPulls += a.Pulls
+	}
+	if armPulls != 4 {
+		t.Fatalf("arm pulls total %d, want 4", armPulls)
+	}
+
+	// A second batch must complete the other arm's measure quota: the
+	// measure phase is burst round-robin, so batches land arm-by-arm.
+	batch2 := make([]BatchCall, 2)
+	for i := range batch2 {
+		batch2[i].Args = simArgs(16)
+	}
+	if err := tn.CallBatch("probe", batch2); err != nil {
+		t.Fatal(err)
+	}
+	if sampler.specs[4] == sampler.specs[0] || sampler.specs[5] != sampler.specs[4] {
+		t.Fatalf("second batch should burst the other arm: %v", sampler.specs)
+	}
+	if _, ok := tn.Best("probe", tn.Classify(simArgs(16))); !ok {
+		t.Fatal("site should have converged after both quotas")
+	}
+}
+
+// TestCallBatchPoisonedSessionRecycled pins mid-batch fault isolation:
+// with fallback off, an exit-point injected panic poisons the session,
+// and the NEXT batch entry must still compute the correct value — the
+// batch runner cycles the poisoned session through the pool (which
+// rebuilds it) instead of reusing half-written state.
+func TestCallBatchPoisonedSessionRecycled(t *testing.T) {
+	prog := simProgram(t)
+	want, err := prog.NewInstance().Call("probe", simArgs(16)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := cm.NewScriptedInjector(cm.FaultRule{
+		Backend: cm.BackendCompiled, Opt: cm.O2, Fn: "probe",
+		Call: 1, Kind: cm.FaultPanic, Point: cm.FaultAtExit,
+	})
+	tn, err := New(prog,
+		WithGrid(VariantSpec{Opt: cm.O2}),
+		WithMinSamples(1),
+		WithSampler(&simSampler{cost: flatCost(map[string]time.Duration{"O2": 30 * time.Microsecond})}),
+		WithFaultInjector(inj),
+		WithFallback(false),
+		WithQuarantineBackoff(time.Hour, time.Hour),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]BatchCall, 3)
+	for i := range batch {
+		batch[i].Args = simArgs(16)
+	}
+	if err := tn.CallBatch("probe", batch); err != nil {
+		t.Fatal(err)
+	}
+	var ifault *cm.InternalFault
+	if !errors.As(batch[0].Err, &ifault) {
+		t.Fatalf("entry 0: want InternalFault, got %v", batch[0].Err)
+	}
+	if batch[0].Fault == nil {
+		t.Fatal("entry 0: fault tap not set")
+	}
+	for i := 1; i < 3; i++ {
+		if batch[i].Err != nil || batch[i].Ret != want {
+			t.Fatalf("entry %d after poison: got (%v, %v), want (%v, nil)",
+				i, batch[i].Ret, batch[i].Err, want)
+		}
+	}
+	ctrs := tn.Counters()
+	if len(ctrs) != 1 || ctrs[0].Faults != 1 || ctrs[0].Quarantines != 1 {
+		t.Fatalf("fault accounting: %+v", ctrs)
+	}
+}

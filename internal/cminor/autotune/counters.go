@@ -1,0 +1,73 @@
+package autotune
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Lock-cheap metrics export. Snapshot walks every site and every arm
+// under the full tuner mutex — exactly right for tests and occasional
+// operator introspection, exactly wrong for a metrics scraper polling a
+// busy tuner several times a second: each scrape would stall the
+// routing hot path. The counter path here is the scrape-friendly
+// alternative: every site keeps a small block of atomic counters that
+// the routing path bumps while it already holds the mutex, and readers
+// traverse them through a sync.Map without ever touching the tuner
+// mutex at all. A scrape contends with nothing; a routed call never
+// waits on a reader.
+
+// siteCounters is the atomic counter block of one tuning site. Writers
+// (the routing path) hold the tuner mutex anyway; the atomics exist so
+// READERS need no lock.
+type siteCounters struct {
+	pulls       atomic.Int64
+	faults      atomic.Int64
+	degraded    atomic.Int64
+	diverged    atomic.Int64
+	quarantines atomic.Int64
+}
+
+// SiteCounters is the exported counter block of one (function,
+// input-class) tuning site — the cumulative totals a metrics scraper
+// wants, without the per-arm detail (for that, Snapshot).
+type SiteCounters struct {
+	Fn          string
+	Class       int
+	Pulls       int64 // routed calls at this site
+	Faults      int64 // contained internal faults, summed over arms
+	Degraded    int64 // calls served by trusted-fallback re-execution
+	Diverged    int64 // audit-revealed wrong results
+	Quarantines int64 // arm quarantine events at this site
+}
+
+// Counters reports every site's cumulative counters, sorted by function
+// then class. Unlike Snapshot it never takes the tuner mutex: the site
+// index is a sync.Map and each value is read with one atomic load, so
+// concurrent scrapers cost the routing path nothing. Counters are
+// monotone; a reader interleaving with live calls may observe totals
+// mid-update relative to each other, but each individual counter is
+// exact at its read instant.
+func (t *AutoTuner) Counters() []SiteCounters {
+	var out []SiteCounters
+	t.counters.Range(func(k, v any) bool {
+		key := k.(siteKey)
+		c := v.(*siteCounters)
+		out = append(out, SiteCounters{
+			Fn:          key.fn,
+			Class:       key.class,
+			Pulls:       c.pulls.Load(),
+			Faults:      c.faults.Load(),
+			Degraded:    c.degraded.Load(),
+			Diverged:    c.diverged.Load(),
+			Quarantines: c.quarantines.Load(),
+		})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Fn != out[j].Fn {
+			return out[i].Fn < out[j].Fn
+		}
+		return out[i].Class < out[j].Class
+	})
+	return out
+}

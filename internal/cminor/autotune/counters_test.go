@@ -1,0 +1,132 @@
+package autotune
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	cm "socrates/internal/cminor"
+)
+
+// TestCountersMatchSnapshot pins the counter export against the
+// mutex-guarded Snapshot on a deterministic fault scenario: pulls,
+// faults, degradations and quarantine events must agree exactly.
+func TestCountersMatchSnapshot(t *testing.T) {
+	inj := cm.NewScriptedInjector(cm.FaultRule{
+		Backend: cm.BackendCompiled, Opt: cm.O2, Fn: "probe",
+		Call: 2, Kind: cm.FaultPanic, Point: cm.FaultAtExit,
+	})
+	tn, err := New(simProgram(t),
+		WithGrid(VariantSpec{Opt: cm.O2}),
+		WithMinSamples(2),
+		WithSampler(&simSampler{cost: flatCost(map[string]time.Duration{"O2": 50 * time.Microsecond})}),
+		WithFaultInjector(inj),
+		WithQuarantineBackoff(time.Hour, time.Hour),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := tn.Call("probe", simArgs(16)...); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	ctrs := tn.Counters()
+	if len(ctrs) != 1 {
+		t.Fatalf("want 1 site, got %d: %+v", len(ctrs), ctrs)
+	}
+	c := ctrs[0]
+	if c.Fn != "probe" {
+		t.Fatalf("site fn = %q", c.Fn)
+	}
+	snaps := tn.Snapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("want 1 snapshot site, got %d", len(snaps))
+	}
+	s := snaps[0]
+	var faults, degraded, diverged int64
+	var quarantines int64
+	for _, a := range s.Arms {
+		faults += a.Faults
+		degraded += a.Degraded
+		diverged += a.Diverged
+		quarantines += int64(a.Quarantines)
+	}
+	if c.Pulls != s.Pulls || c.Faults != faults || c.Degraded != degraded ||
+		c.Diverged != diverged || c.Quarantines != quarantines {
+		t.Fatalf("counters %+v disagree with snapshot (pulls %d faults %d degraded %d diverged %d quarantines %d)",
+			c, s.Pulls, faults, degraded, diverged, quarantines)
+	}
+	if c.Faults != 1 || c.Degraded != 1 || c.Quarantines != 1 {
+		t.Fatalf("scenario accounting off: %+v", c)
+	}
+}
+
+// TestCountersConcurrentReaders hammers the lock-free Counters path
+// from scraper goroutines while writers route calls — the contract is
+// no data race (CI runs this under -race), per-reader monotone totals,
+// and final agreement with the routed call count.
+func TestCountersConcurrentReaders(t *testing.T) {
+	// The default clock sampler: synthetic cost models (simSampler) are
+	// single-threaded by design, and this test is about the counter
+	// read path, not convergence.
+	tn, err := New(simProgram(t),
+		WithGrid(VariantSpec{Opt: cm.O1}, VariantSpec{Opt: cm.O2}),
+		WithMinSamples(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		writers = 6
+		readers = 4
+		calls   = 200
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := map[string]int64{}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, c := range tn.Counters() {
+					if prev := last[c.Fn]; c.Pulls < prev {
+						t.Errorf("pulls went backwards: %d -> %d", prev, c.Pulls)
+						return
+					} else {
+						last[c.Fn] = c.Pulls
+					}
+				}
+			}
+		}()
+	}
+	var cw sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		cw.Add(1)
+		go func() {
+			defer cw.Done()
+			for i := 0; i < calls; i++ {
+				if _, err := tn.Call("probe", simArgs(16)...); err != nil {
+					t.Errorf("call: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	cw.Wait()
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	ctrs := tn.Counters()
+	if len(ctrs) != 1 || ctrs[0].Pulls != writers*calls {
+		t.Fatalf("final counters %+v, want one site with %d pulls", ctrs, writers*calls)
+	}
+}

@@ -36,6 +36,7 @@ func (st *siteState) choose(cfg *config, rng *splitmix64) int {
 		st.liftExpired(cfg, cfg.clock.Now())
 	}
 	st.pulls++
+	st.ctr.pulls.Add(1)
 	if st.nquar == len(st.arms) {
 		// Every arm is quarantined: there is no trusted variant left, so
 		// route to the one whose backoff expires soonest — it is the next

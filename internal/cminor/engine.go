@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -277,6 +278,18 @@ func (p *Program) HasFunc(name string) bool {
 	return ok
 }
 
+// Funcs returns the names of the program's functions, sorted. Serving
+// layers use it to build their routing tables without re-parsing the
+// source.
+func (p *Program) Funcs() []string {
+	names := make([]string, 0, len(p.res.Funcs))
+	for name := range p.res.Funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Backend reports the variant's execution backend.
 func (p *Program) Backend() Backend { return p.cfg.backend }
 
@@ -445,6 +458,41 @@ type InstancePool struct {
 	prog *Program
 	mu   sync.Mutex
 	free []*Instance
+	// Checkout accounting (see Stats). A pool in front of a bounded
+	// worker set must be provably bounded itself: created never exceeds
+	// the peak number of concurrently checked-out sessions, and
+	// created - dropped always equals free + in-use.
+	created  int64
+	inuse    int64
+	dropped  int64
+	repaired int64
+}
+
+// PoolStats is a point-in-time accounting snapshot of an InstancePool.
+type PoolStats struct {
+	Created  int64 // Instances this pool has ever materialized
+	Free     int64 // currently pooled, ready for checkout
+	InUse    int64 // checked out and not yet returned
+	Dropped  int64 // Put rejections (nil or foreign-Program instances)
+	Repaired int64 // poisoned sessions rebuilt with fresh globals by Put
+}
+
+// Stats reports the pool's checkout accounting. The invariant a healthy
+// pool maintains — and the leak tests assert under churn — is
+// Created == Free + InUse: every session this pool made is either
+// pooled or checked out, and Created itself never exceeds the peak
+// number of concurrent checkouts. (Dropped counts rejected Puts of
+// sessions that were never this pool's to begin with.)
+func (ip *InstancePool) Stats() PoolStats {
+	ip.mu.Lock()
+	defer ip.mu.Unlock()
+	return PoolStats{
+		Created:  ip.created,
+		Free:     int64(len(ip.free)),
+		InUse:    ip.inuse,
+		Dropped:  ip.dropped,
+		Repaired: ip.repaired,
+	}
 }
 
 // NewPool returns an empty Instance pool over p.
@@ -454,12 +502,14 @@ func (p *Program) NewPool() *InstancePool { return &InstancePool{prog: p} }
 // when available, a fresh one otherwise.
 func (ip *InstancePool) Get() *Instance {
 	ip.mu.Lock()
+	ip.inuse++
 	if n := len(ip.free) - 1; n >= 0 {
 		inst := ip.free[n]
 		ip.free = ip.free[:n]
 		ip.mu.Unlock()
 		return inst
 	}
+	ip.created++
 	ip.mu.Unlock()
 	return ip.prog.NewInstance()
 }
@@ -477,6 +527,9 @@ func (ip *InstancePool) Get() *Instance {
 // pooled.
 func (ip *InstancePool) Put(inst *Instance) {
 	if inst == nil || inst.prog != ip.prog {
+		ip.mu.Lock()
+		ip.dropped++
+		ip.mu.Unlock()
 		return
 	}
 	inst.steps = 0
@@ -484,8 +537,10 @@ func (ip *InstancePool) Put(inst *Instance) {
 	inst.maxSteps = ip.prog.cfg.maxSteps
 	inst.lastFault = nil
 	inst.degraded = false
+	repaired := false
 	if inst.poisoned {
 		inst.poisoned = false
+		repaired = true
 		if inst.g != nil {
 			inst.g = ip.prog.newGlobals()
 			if inst.fb != nil {
@@ -503,6 +558,10 @@ func (ip *InstancePool) Put(inst *Instance) {
 		inst.wk.MaxSteps = inst.maxSteps
 	}
 	ip.mu.Lock()
+	ip.inuse--
+	if repaired {
+		ip.repaired++
+	}
 	ip.free = append(ip.free, inst)
 	ip.mu.Unlock()
 }

@@ -1,0 +1,142 @@
+package cminor
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// poolSrc resets its global scratch at entry, so pooled sessions are
+// correct across checkouts — while still giving a poisoned session's
+// repair path a real global frame to rebuild.
+const poolSrc = `
+double acc;
+double probe(int n, double a[n]) {
+  int i;
+  acc = 0.0;
+  for (i = 0; i < n; i++) {
+    acc = acc + a[i] * a[i];
+  }
+  return acc;
+}
+`
+
+func poolArgs(n int) []any {
+	a := NewArray(n)
+	for i := range a.Data {
+		a.Data[i] = float64(i%7) * 0.25
+	}
+	return []any{IntV(int64(n)), a}
+}
+
+// TestInstancePoolStress churns an InstancePool from 12 goroutines
+// under scripted internal faults (fallback off, so each fault poisons
+// its session) and holds the pool to its accounting contract: sessions
+// never leak (Created == Free once everything is returned, InUse == 0),
+// the pool stays bounded by peak concurrency, every poisoned session is
+// repaired on Put, and every successful call is bit-exact against a
+// direct Instance.Call. CI runs this under -race; it is the pool's
+// lock-discipline test as much as its leak test.
+func TestInstancePoolStress(t *testing.T) {
+	const (
+		goroutines = 12
+		perG       = 50
+		total      = goroutines * perG
+	)
+	// Six faults spread through the run; each fires exactly once, at
+	// its Nth matching call, whichever goroutine lands on it.
+	faultCalls := []int64{5, 33, 77, 120, 250, 333}
+	rules := make([]FaultRule, len(faultCalls))
+	for i, c := range faultCalls {
+		rules[i] = FaultRule{
+			Backend: BackendCompiled, Opt: O2, Fn: "probe",
+			Call: c, Kind: FaultPanic, Point: FaultAtExit,
+		}
+	}
+	prog := mustProgram(t, poolSrc, WithFaultInjector(NewScriptedInjector(rules...)))
+
+	// The reference value comes from an injector-free twin, so the
+	// reference call cannot consume a scripted fault.
+	want, err := mustProgram(t, poolSrc).NewInstance().Call("probe", poolArgs(64)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := prog.NewPool()
+	var faults, ok atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				inst := pool.Get()
+				v, err := inst.Call("probe", poolArgs(64)...)
+				switch {
+				case err != nil:
+					var ifault *InternalFault
+					if !errors.As(err, &ifault) {
+						t.Errorf("non-contained error: %v", err)
+					} else {
+						faults.Add(1)
+						if !inst.Poisoned() {
+							t.Error("faulted session (no fallback) should be poisoned")
+						}
+					}
+				case v != want:
+					t.Errorf("got %v, want %v", v, want)
+				default:
+					ok.Add(1)
+				}
+				pool.Put(inst)
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	if faults.Load() != int64(len(faultCalls)) {
+		t.Fatalf("observed %d faults, scripted %d", faults.Load(), len(faultCalls))
+	}
+	if ok.Load() != int64(total-len(faultCalls)) {
+		t.Fatalf("%d clean calls, want %d", ok.Load(), total-len(faultCalls))
+	}
+
+	st := pool.Stats()
+	if st.InUse != 0 {
+		t.Fatalf("leaked checkouts: %+v", st)
+	}
+	if st.Created != st.Free {
+		t.Fatalf("accounting broken (Created != Free with all returned): %+v", st)
+	}
+	if st.Created > goroutines {
+		t.Fatalf("pool unbounded: created %d sessions for %d concurrent users", st.Created, goroutines)
+	}
+	if st.Repaired != int64(len(faultCalls)) {
+		t.Fatalf("repaired %d poisoned sessions, want %d: %+v", st.Repaired, len(faultCalls), st)
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("unexpected drops: %+v", st)
+	}
+
+	// Repaired sessions must serve correct values again.
+	inst := pool.Get()
+	if v, err := inst.Call("probe", poolArgs(64)...); err != nil || v != want {
+		t.Fatalf("post-churn call: (%v, %v), want (%v, nil)", v, err, want)
+	}
+	pool.Put(inst)
+
+	// Foreign and nil Puts are dropped, never pooled.
+	pool.Put(nil)
+	pool.Put(mustProgram(t, poolSrc).NewInstance())
+	st = pool.Stats()
+	if st.Dropped != 2 {
+		t.Fatalf("drop accounting: %+v", st)
+	}
+	if st.Created != st.Free || st.InUse != 0 {
+		t.Fatalf("drops disturbed the free list: %+v", st)
+	}
+}

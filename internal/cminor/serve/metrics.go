@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Live metrics. Counters are atomics so the scrape path (Snapshot,
+// StatusLine) never contends with dispatch for anything but the short
+// gauge mutex; gauges (EWMAs, the latency ring) are updated at
+// completion under a dedicated small mutex, not the scheduler lock.
+
+// metricsAlpha is the weight a new observation carries in the EWMA
+// gauges (queue depth, latency, inter-completion interval).
+const metricsAlpha = 0.2
+
+// latRingSize is the window of recent completion latencies the
+// percentile gauges are computed over.
+const latRingSize = 512
+
+type metrics struct {
+	submitted        atomic.Int64
+	admitted         atomic.Int64
+	rejectedClosed   atomic.Int64
+	rejectedExpired  atomic.Int64
+	rejectedFull     atomic.Int64
+	rejectedInFlight atomic.Int64
+	rejectedRate     atomic.Int64
+	rejectedSteps    atomic.Int64
+	completed        atomic.Int64
+	failed           atomic.Int64
+	shedQueued       atomic.Int64
+	shedRunning      atomic.Int64
+	degraded         atomic.Int64
+	faults           atomic.Int64
+	batches          atomic.Int64
+	batchedCalls     atomic.Int64
+
+	gmu       sync.Mutex
+	queueEWMA float64 // entries, sampled at every submit and dispatch
+	latEWMA   float64 // ns, completed calls only
+	gapEWMA   float64 // ns between consecutive completions
+	lastDone  time.Time
+	ring      [latRingSize]int64 // ns, most recent completions
+	ringN     int64              // total latencies ever recorded
+}
+
+// observeQueue folds the current queue depth into its EWMA gauge.
+func (m *metrics) observeQueue(depth int) {
+	m.gmu.Lock()
+	if m.queueEWMA == 0 {
+		m.queueEWMA = float64(depth)
+	} else {
+		m.queueEWMA = metricsAlpha*float64(depth) + (1-metricsAlpha)*m.queueEWMA
+	}
+	m.gmu.Unlock()
+}
+
+// observeDone records one successful completion: latency into the ring
+// and EWMA, and the inter-completion gap into the throughput EWMA.
+func (m *metrics) observeDone(now time.Time, latency time.Duration) {
+	ns := float64(latency)
+	m.gmu.Lock()
+	m.ring[m.ringN%latRingSize] = int64(latency)
+	m.ringN++
+	if m.latEWMA == 0 {
+		m.latEWMA = ns
+	} else {
+		m.latEWMA = metricsAlpha*ns + (1-metricsAlpha)*m.latEWMA
+	}
+	if !m.lastDone.IsZero() {
+		if gap := now.Sub(m.lastDone); gap > 0 {
+			g := float64(gap)
+			if m.gapEWMA == 0 {
+				m.gapEWMA = g
+			} else {
+				m.gapEWMA = metricsAlpha*g + (1-metricsAlpha)*m.gapEWMA
+			}
+		}
+	}
+	m.lastDone = now
+	m.gmu.Unlock()
+}
+
+// percentiles computes (p50, p99) over the latency window.
+func (m *metrics) percentiles() (p50, p99 time.Duration) {
+	m.gmu.Lock()
+	n := m.ringN
+	if n > latRingSize {
+		n = latRingSize
+	}
+	buf := make([]int64, n)
+	copy(buf, m.ring[:n])
+	m.gmu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	pick := func(p float64) time.Duration {
+		idx := int(p*float64(n-1) + 0.5)
+		return time.Duration(buf[idx])
+	}
+	return pick(0.50), pick(0.99)
+}
+
+// Snapshot is the server's full observable state at one instant: the
+// operator surface the status line renders and scrapers export.
+type Snapshot struct {
+	Time   time.Time
+	Uptime time.Duration
+
+	// Scheduler occupancy.
+	Queued     int     // entries waiting in the admission queue
+	QueueDepth int     // the configured bound
+	Running    int     // entries dispatched and executing
+	QueueEWMA  float64 // smoothed queue depth
+
+	// Admission counters.
+	Submitted        int64
+	Admitted         int64
+	RejectedClosed   int64
+	RejectedExpired  int64
+	RejectedFull     int64
+	RejectedInFlight int64
+	RejectedRate     int64
+	RejectedSteps    int64
+
+	// Outcome counters.
+	Completed   int64 // calls that returned a value (degraded included)
+	Failed      int64 // program faults and surfaced internal faults
+	ShedQueued  int64 // dropped in the queue on an expired deadline
+	ShedRunning int64 // aborted mid-call via context cancellation
+	Degraded    int64 // served by trusted-fallback re-execution
+	Faults      int64 // contained internal faults observed
+
+	// Batching.
+	Batches      int64 // dispatched batches
+	BatchedCalls int64 // entries those batches carried
+
+	// Gauges.
+	Throughput  float64 // req/s, from the inter-completion gap EWMA
+	LatencyEWMA time.Duration
+	P50         time.Duration // over the last latRingSize completions
+	P99         time.Duration
+
+	Tenants []TenantSnapshot // sorted by tenant name
+}
+
+// Rejected totals the admission rejections across every reason.
+func (s *Snapshot) Rejected() int64 {
+	return s.RejectedClosed + s.RejectedExpired + s.RejectedFull +
+		s.RejectedInFlight + s.RejectedRate + s.RejectedSteps
+}
+
+// Shed totals queued and running sheds.
+func (s *Snapshot) Shed() int64 { return s.ShedQueued + s.ShedRunning }
+
+// TenantSnapshot is one tenant's usage accounting.
+type TenantSnapshot struct {
+	Tenant    string
+	InFlight  int
+	Submitted int64
+	Admitted  int64
+	Rejected  int64
+	Completed int64
+	Failed    int64
+	Shed      int64
+	Degraded  int64
+	Faults    int64
+	Steps     int64 // total interpreter steps executed for this tenant
+	// Remaining quota balances (meaningful only for limited tenants).
+	RateTokens float64
+	StepTokens float64
+}

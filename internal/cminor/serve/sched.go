@@ -1,0 +1,336 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	cm "socrates/internal/cminor"
+	"socrates/internal/cminor/autotune"
+)
+
+// The scheduler core: everything below runs under Server.mu, as a
+// synchronous state machine. Workers (or Tick) pop ready batches out
+// of it and run them outside the lock; completion re-enters it to
+// settle accounts. Keeping the policy surface lock-synchronous is what
+// makes the fake-clock simulations exact.
+
+// entry is one admitted request in flight through the scheduler.
+type entry struct {
+	req    Request
+	ctx    context.Context
+	tenant *tenantState
+	route  *route
+	class  int
+	enq    time.Time
+	done   chan struct{}
+	resp   Response
+}
+
+// groupKey is the coalescing key: batches form per (function,
+// input-size class) — exactly the autotuner's site key, so a batch
+// shares one variant decision.
+type groupKey struct {
+	fn    string
+	class int
+}
+
+// group is a forming (or dispatched) batch.
+type group struct {
+	route   *route
+	class   int
+	born    time.Time
+	entries []*entry
+}
+
+// tenantState is one tenant's quota buckets and usage ledger.
+type tenantState struct {
+	name       string
+	quota      TenantQuota
+	inflight   int
+	reqBucket  bucket
+	stepBucket bucket
+
+	submitted int64
+	admitted  int64
+	rejected  int64
+	completed int64
+	failed    int64
+	shed      int64
+	degraded  int64
+	faults    int64
+	steps     int64
+}
+
+func (ts *tenantState) snapshot(now time.Time) TenantSnapshot {
+	ts.reqBucket.refill(now)
+	ts.stepBucket.refill(now)
+	return TenantSnapshot{
+		Tenant:     ts.name,
+		InFlight:   ts.inflight,
+		Submitted:  ts.submitted,
+		Admitted:   ts.admitted,
+		Rejected:   ts.rejected,
+		Completed:  ts.completed,
+		Failed:     ts.failed,
+		Shed:       ts.shed,
+		Degraded:   ts.degraded,
+		Faults:     ts.faults,
+		Steps:      ts.steps,
+		RateTokens: ts.reqBucket.tokens,
+		StepTokens: ts.stepBucket.tokens,
+	}
+}
+
+// tenant returns (lazily creating) the named tenant's state.
+func (s *Server) tenant(name string) *tenantState {
+	ts, ok := s.tenants[name]
+	if !ok {
+		q := s.cfg.defaultQuota
+		if tq, has := s.cfg.quotas[name]; has {
+			q = tq
+		}
+		now := s.cfg.clock.Now()
+		ts = &tenantState{
+			name:       name,
+			quota:      q,
+			reqBucket:  newBucket(q.Rate, q.Burst, now),
+			stepBucket: newBucket(q.StepRate, q.StepBurst, now),
+		}
+		s.tenants[name] = ts
+	}
+	return ts
+}
+
+// admit runs the admission gauntlet under s.mu. The check order is part
+// of the contract (pinned by simulation): closed, expired deadline,
+// queue full, tenant in-flight cap, tenant request rate, tenant step
+// credit. A rejection charges nothing but the tenant's rejected count.
+func (s *Server) admit(rt *route, req Request, ctx context.Context, class int, now time.Time) (*entry, error) {
+	ts := s.tenant(req.Tenant)
+	ts.submitted++
+	if s.closed {
+		s.met.rejectedClosed.Add(1)
+		ts.rejected++
+		return nil, ErrClosed
+	}
+	if !req.Deadline.IsZero() && !req.Deadline.After(now) {
+		s.met.rejectedExpired.Add(1)
+		ts.rejected++
+		return nil, fmt.Errorf("%w (deadline %v, now %v)", ErrDeadlineExpired, req.Deadline, now)
+	}
+	if s.queued >= s.cfg.queueDepth {
+		s.met.rejectedFull.Add(1)
+		ts.rejected++
+		return nil, fmt.Errorf("%w (%d queued)", ErrQueueFull, s.queued)
+	}
+	if ts.quota.MaxInFlight > 0 && ts.inflight >= ts.quota.MaxInFlight {
+		s.met.rejectedInFlight.Add(1)
+		ts.rejected++
+		return nil, fmt.Errorf("%w (tenant %q, %d in flight)", ErrTenantInFlight, req.Tenant, ts.inflight)
+	}
+	if !ts.reqBucket.take(now, 1) {
+		s.met.rejectedRate.Add(1)
+		ts.rejected++
+		return nil, fmt.Errorf("%w (tenant %q)", ErrTenantRate, req.Tenant)
+	}
+	if !ts.stepBucket.hasCredit(now) {
+		s.met.rejectedSteps.Add(1)
+		ts.rejected++
+		return nil, fmt.Errorf("%w (tenant %q, balance %.0f)", ErrTenantSteps, req.Tenant, ts.stepBucket.tokens)
+	}
+	ts.admitted++
+	ts.inflight++
+	s.met.admitted.Add(1)
+	return &entry{
+		req:    req,
+		ctx:    ctx,
+		tenant: ts,
+		route:  rt,
+		class:  class,
+		enq:    now,
+		done:   make(chan struct{}),
+	}, nil
+}
+
+// enqueue places an admitted entry into a batch group: an open
+// same-(function, class) group if one is still forming, else a fresh
+// group at the queue tail. Runs under s.mu.
+func (s *Server) enqueue(e *entry, now time.Time) {
+	s.queued++
+	key := groupKey{fn: e.route.fn, class: e.class}
+	if g, ok := s.open[key]; ok {
+		g.entries = append(g.entries, e)
+		if len(g.entries) >= s.cfg.maxBatch {
+			delete(s.open, key) // full: no more joiners
+		}
+		return
+	}
+	g := &group{route: e.route, class: e.class, born: now, entries: []*entry{e}}
+	s.queue = append(s.queue, g)
+	if s.cfg.maxBatch > 1 {
+		s.open[key] = g
+	}
+}
+
+// ready reports whether a group should dispatch now rather than keep
+// waiting for company.
+func (s *Server) ready(g *group, now time.Time) bool {
+	if len(g.entries) >= s.cfg.maxBatch || s.cfg.maxBatchDelay <= 0 || s.closed {
+		return true
+	}
+	return !g.born.Add(s.cfg.maxBatchDelay).After(now)
+}
+
+// popReady scans the queue in FIFO order under s.mu: sheds entries
+// whose deadline expired while queued, drops emptied groups, and
+// removes and returns the first ready group. When nothing is ready but
+// unripe groups remain, the zero group is returned along with the
+// soonest ripen time so a worker can sleep exactly until then.
+func (s *Server) popReady(now time.Time) (*group, time.Time) {
+	var ripen time.Time
+	i := 0
+	for i < len(s.queue) {
+		g := s.queue[i]
+		// Shed queued entries that can no longer make their deadline.
+		kept := g.entries[:0]
+		for _, e := range g.entries {
+			if !e.req.Deadline.IsZero() && !e.req.Deadline.After(now) {
+				s.shedQueuedLocked(e, now)
+				continue
+			}
+			kept = append(kept, e)
+		}
+		g.entries = kept
+		if len(g.entries) == 0 {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			delete(s.open, groupKey{fn: g.route.fn, class: g.class})
+			continue
+		}
+		if s.ready(g, now) {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			delete(s.open, groupKey{fn: g.route.fn, class: g.class})
+			n := len(g.entries)
+			s.queued -= n
+			s.running += n
+			s.met.batches.Add(1)
+			s.met.batchedCalls.Add(int64(n))
+			return g, time.Time{}
+		}
+		if r := g.born.Add(s.cfg.maxBatchDelay); ripen.IsZero() || r.Before(ripen) {
+			ripen = r
+		}
+		i++
+	}
+	return nil, ripen
+}
+
+// shedQueuedLocked completes a queued entry as shed without running it.
+func (s *Server) shedQueuedLocked(e *entry, now time.Time) {
+	s.queued--
+	e.tenant.inflight--
+	e.tenant.shed++
+	s.met.shedQueued.Add(1)
+	e.resp = Response{
+		Err:   fmt.Errorf("%w (queued %v)", ErrShed, now.Sub(e.enq)),
+		Wait:  now.Sub(e.enq),
+		Total: now.Sub(e.enq),
+	}
+	close(e.done)
+}
+
+// runGroup executes one dispatched batch outside s.mu and settles each
+// entry. The batch rides one warm pooled instance and one autotuner
+// variant decision (autotune.CallBatch); per-entry contexts carry
+// cancellation into the engine's zero-cost call checkpoint.
+func (s *Server) runGroup(g *group) {
+	dispatched := s.cfg.clock.Now()
+	calls := make([]autotune.BatchCall, len(g.entries))
+	var cancels []context.CancelFunc
+	for i, e := range g.entries {
+		ctx := e.ctx
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		// Under the production clock, arm the request deadline as a real
+		// context deadline so running kernels abort mid-flight. (An
+		// injected clock cannot fire wall timers; there the scheduler's
+		// own checkpoints — admission and queue scan — enforce it.)
+		if s.wallDeadlines && !e.req.Deadline.IsZero() {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithDeadline(ctx, e.req.Deadline)
+			cancels = append(cancels, cancel)
+		}
+		calls[i] = autotune.BatchCall{Ctx: ctx, Args: e.req.Args}
+	}
+	batchErr := g.route.tuner.CallBatch(g.route.fn, calls)
+	for _, cancel := range cancels {
+		cancel()
+	}
+	now := s.cfg.clock.Now()
+
+	s.mu.Lock()
+	for i, e := range g.entries {
+		s.finishLocked(e, &calls[i], batchErr, dispatched, now, len(g.entries))
+	}
+	s.mu.Unlock()
+	for _, e := range g.entries {
+		close(e.done)
+	}
+	s.cond.Signal()
+}
+
+// finishLocked settles one completed entry under s.mu: outcome
+// classification, tenant accounting, post-paid step debit, metrics.
+func (s *Server) finishLocked(e *entry, c *autotune.BatchCall, batchErr error, dispatched, now time.Time, batched int) {
+	s.running--
+	e.tenant.inflight--
+	e.tenant.steps += int64(c.Steps)
+	e.tenant.stepBucket.spend(now, float64(c.Steps))
+
+	e.resp = Response{
+		Value:    c.Ret,
+		Degraded: c.Degraded,
+		Fault:    c.Fault,
+		Steps:    c.Steps,
+		Wait:     dispatched.Sub(e.enq),
+		Total:    now.Sub(e.enq),
+		Batched:  batched,
+	}
+	err := batchErr
+	if err == nil {
+		err = c.Err
+	}
+	switch {
+	case err == nil:
+		e.tenant.completed++
+		s.met.completed.Add(1)
+		if c.Degraded {
+			e.tenant.degraded++
+			s.met.degraded.Add(1)
+		}
+		if c.Fault != nil {
+			e.tenant.faults++
+			s.met.faults.Add(1)
+		}
+		s.met.observeDone(now, e.resp.Total)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// The running call was aborted through its context: a shed, not
+		// a failure — the tenant asked for (or timed out of) the abort.
+		e.tenant.shed++
+		s.met.shedRunning.Add(1)
+		err = fmt.Errorf("%w: %v", ErrShed, err)
+	default:
+		// Program fault or surfaced internal fault. Contained either
+		// way: the worker survives, the tenant is told.
+		e.tenant.failed++
+		s.met.failed.Add(1)
+		var ifault *cm.InternalFault
+		if errors.As(err, &ifault) || c.Fault != nil {
+			e.tenant.faults++
+			s.met.faults.Add(1)
+		}
+	}
+	e.resp.Err = err
+}

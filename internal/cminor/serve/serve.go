@@ -1,0 +1,479 @@
+// Package serve is the multi-tenant front end of the SOCRATES engine:
+// an admission-controlled request scheduler that multiplexes many
+// concurrent callers onto shared Programs through pooled Instances,
+// with one AutoTuner per hosted program picking the variant every
+// dispatch runs on.
+//
+// The request lifecycle is
+//
+//	admit → queue → batch → dispatch → contain/shed → account
+//
+// Admission is a bounded queue plus per-tenant token-bucket quotas
+// (request rate, in-flight cap, post-paid interpreter-step budget) on
+// an injected Clock. Admitted requests coalesce into batches keyed by
+// (function, input-size class) — the autotuner's site key — so a batch
+// shares one variant decision and one warm checked-out Instance
+// (autotune.CallBatch), bounded by a max batch size and a max batch
+// delay. Worker goroutines dispatch ready batches; expired deadlines
+// shed queued work before it ever runs, and cancelled contexts abort
+// running kernels through the engine's zero-cost CallContext
+// checkpoint. Contained faults and degraded (trusted-fallback) calls
+// feed per-tenant error accounting instead of killing workers — the
+// quarantine layer underneath keeps routing around the bad variant.
+//
+// The scheduler core is a synchronous state machine under one mutex;
+// the worker pool is a thin loop over it. That makes the whole policy
+// surface — admission order, quota refill, batch ripening, shed
+// ordering — drivable call-by-call with a fake clock (WithWorkers(0) +
+// Tick), the same simulation discipline the autotuner's tests use,
+// while the production configuration runs the identical code under
+// real goroutines.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	cm "socrates/internal/cminor"
+	"socrates/internal/cminor/autotune"
+)
+
+// Clock abstracts the scheduler's time source: admission buckets,
+// batch ripening and deadline shedding all read it, so a fake clock
+// drives every policy decision deterministically.
+type Clock interface {
+	Now() time.Time
+}
+
+// wallClock is the production Clock.
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+// Admission and scheduling errors. Submit wraps them with request
+// context; match with errors.Is.
+var (
+	ErrClosed          = errors.New("serve: server closed")
+	ErrUnknownFunction = errors.New("serve: unknown function")
+	ErrDeadlineExpired = errors.New("serve: deadline already expired")
+	ErrQueueFull       = errors.New("serve: queue full")
+	ErrTenantInFlight  = errors.New("serve: tenant in-flight limit reached")
+	ErrTenantRate      = errors.New("serve: tenant request rate exhausted")
+	ErrTenantSteps     = errors.New("serve: tenant step budget exhausted")
+	// ErrShed is the outcome of a queued request whose deadline expired
+	// before a worker could dispatch it.
+	ErrShed = errors.New("serve: request shed: deadline expired in queue")
+)
+
+// Request is one unit of work: a tenant asking for one function call.
+type Request struct {
+	Tenant   string
+	Function string
+	Args     []any
+	// Deadline, when non-zero, is an absolute time on the SERVER's
+	// clock: work still queued past it is shed unrun, and — under the
+	// production wall clock — running work is aborted through context
+	// cancellation. Zero means no deadline.
+	Deadline time.Time
+}
+
+// Response is the outcome of one request.
+type Response struct {
+	Value cm.Value
+	Err   error
+	// Degraded reports the call was served by trusted-fallback
+	// re-execution after a contained internal fault; the value is
+	// correct either way.
+	Degraded bool
+	// Fault is the contained internal fault, if the call hit one.
+	Fault *cm.InternalFault
+	// Steps is the call's deterministic statement count — what the
+	// tenant's step budget was debited.
+	Steps int
+	// Wait is time spent queued; Total is queue + execution + batch
+	// company, submit to completion.
+	Wait  time.Duration
+	Total time.Duration
+	// Batched is the size of the batch this request rode in.
+	Batched int
+}
+
+// serverConfig is the resolved option set.
+type serverConfig struct {
+	queueDepth    int
+	workers       int
+	maxBatch      int
+	maxBatchDelay time.Duration
+	clock         Clock
+	defaultQuota  TenantQuota
+	quotas        map[string]TenantQuota
+}
+
+// Option configures New.
+type Option func(*serverConfig)
+
+// WithQueueDepth bounds the admission queue in entries (default 256).
+// A full queue rejects with ErrQueueFull — backpressure at the front
+// door, never unbounded memory.
+func WithQueueDepth(n int) Option { return func(c *serverConfig) { c.queueDepth = n } }
+
+// WithWorkers sets the dispatch worker count (default 4). 0 disables
+// the worker pool: nothing dispatches until Tick is called — the
+// deterministic harness mode simulations drive with a fake clock.
+func WithWorkers(n int) Option { return func(c *serverConfig) { c.workers = n } }
+
+// WithMaxBatch caps how many same-(function, class) requests one
+// dispatch coalesces onto a warm Instance (default 8; 1 disables
+// batching).
+func WithMaxBatch(n int) Option { return func(c *serverConfig) { c.maxBatch = n } }
+
+// WithMaxBatchDelay sets how long an unfilled batch may wait for
+// same-class company before dispatching anyway (default 0: dispatch
+// immediately, batching is purely opportunistic on queue contents).
+func WithMaxBatchDelay(d time.Duration) Option {
+	return func(c *serverConfig) { c.maxBatchDelay = d }
+}
+
+// WithClock injects the scheduler's time source (default: wall clock).
+func WithClock(clk Clock) Option { return func(c *serverConfig) { c.clock = clk } }
+
+// WithDefaultQuota sets the quota applied to tenants without an
+// explicit one (default: unlimited).
+func WithDefaultQuota(q TenantQuota) Option {
+	return func(c *serverConfig) { c.defaultQuota = q }
+}
+
+// WithTenantQuota sets one tenant's quota.
+func WithTenantQuota(tenant string, q TenantQuota) Option {
+	return func(c *serverConfig) {
+		if c.quotas == nil {
+			c.quotas = map[string]TenantQuota{}
+		}
+		c.quotas[tenant] = q
+	}
+}
+
+// route is one hosted function: the program it lives in and the tuner
+// that routes its calls.
+type route struct {
+	fn    string
+	prog  *cm.Program
+	tuner *autotune.AutoTuner
+}
+
+// Server is the multi-tenant serving front end. Create with New, host
+// programs with Host, start the worker pool with Start, submit with
+// Do/Submit. All methods are safe for concurrent use.
+type Server struct {
+	cfg serverConfig
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	routes  map[string]*route
+	tenants map[string]*tenantState
+	queue   []*group
+	open    map[groupKey]*group
+	queued  int
+	running int
+	started bool
+	closed  bool
+	start   time.Time
+
+	wg  sync.WaitGroup
+	met metrics
+
+	// wallDeadlines: under the production clock, Request.Deadline is
+	// also armed as a context deadline so running kernels abort
+	// mid-flight; under an injected clock only the scheduler's
+	// checkpoints enforce it (a fake clock cannot fire real timers).
+	wallDeadlines bool
+}
+
+// New builds a Server. It serves nothing until programs are hosted
+// (Host) and, unless driven manually with Tick, workers are started
+// (Start).
+func New(opts ...Option) (*Server, error) {
+	cfg := serverConfig{
+		queueDepth: 256,
+		workers:    4,
+		maxBatch:   8,
+		clock:      wallClock{},
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.queueDepth < 1 {
+		return nil, fmt.Errorf("serve: queue depth must be >= 1, got %d", cfg.queueDepth)
+	}
+	if cfg.workers < 0 {
+		return nil, fmt.Errorf("serve: worker count must be >= 0, got %d", cfg.workers)
+	}
+	if cfg.maxBatch < 1 {
+		return nil, fmt.Errorf("serve: max batch must be >= 1, got %d", cfg.maxBatch)
+	}
+	if cfg.maxBatchDelay < 0 {
+		return nil, fmt.Errorf("serve: max batch delay must be >= 0, got %v", cfg.maxBatchDelay)
+	}
+	cfg.defaultQuota = cfg.defaultQuota.normalize()
+	for k, q := range cfg.quotas {
+		cfg.quotas[k] = q.normalize()
+	}
+	s := &Server{
+		cfg:     cfg,
+		routes:  map[string]*route{},
+		tenants: map[string]*tenantState{},
+		open:    map[groupKey]*group{},
+		start:   cfg.clock.Now(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	_, s.wallDeadlines = cfg.clock.(wallClock)
+	return s, nil
+}
+
+// Host registers every function of prog with the server, wrapping the
+// program in its own AutoTuner (one tuner per program — the paper's
+// continuous-selection engine) built with the given options. Function
+// names are a flat namespace across hosted programs; a duplicate is an
+// error. The returned tuner is the introspection handle (Snapshot,
+// Counters, Best).
+func (s *Server) Host(prog *cm.Program, opts ...autotune.Option) (*autotune.AutoTuner, error) {
+	tn, err := autotune.New(prog, opts...)
+	if err != nil {
+		return nil, err
+	}
+	fns := prog.Funcs()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	for _, fn := range fns {
+		if _, dup := s.routes[fn]; dup {
+			return nil, fmt.Errorf("serve: function %q already hosted", fn)
+		}
+	}
+	for _, fn := range fns {
+		s.routes[fn] = &route{fn: fn, prog: prog, tuner: tn}
+	}
+	return tn, nil
+}
+
+// Tuner returns the AutoTuner routing the named function, for metrics
+// scraping and introspection.
+func (s *Server) Tuner(fn string) (*autotune.AutoTuner, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rt, ok := s.routes[fn]
+	if !ok {
+		return nil, false
+	}
+	return rt.tuner, true
+}
+
+// Start launches the worker pool. Idempotent; a no-op with
+// WithWorkers(0) (drive with Tick instead).
+func (s *Server) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started || s.closed {
+		return
+	}
+	s.started = true
+	for i := 0; i < s.cfg.workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Close stops admission immediately (submissions return ErrClosed),
+// lets the workers drain everything already queued — batch-delay holds
+// are flushed — and waits for them to exit. With WithWorkers(0) the
+// queue is drained synchronously by Close itself.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+	// No workers to drain for us: serve what is left here.
+	for s.Tick() {
+	}
+}
+
+// Submit enqueues one request, returning immediately with a Pending
+// handle or an admission error. ctx governs the request's execution: a
+// cancellation aborts the running kernel at the engine's next budget
+// checkpoint (and is accounted a shed), and a nil ctx means Background.
+func (s *Server) Submit(ctx context.Context, req Request) (*Pending, error) {
+	s.met.submitted.Add(1)
+	s.mu.Lock()
+	rt, ok := s.routes[req.Function]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownFunction, req.Function)
+	}
+	class := rt.tuner.Classify(req.Args)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	now := s.cfg.clock.Now()
+
+	s.mu.Lock()
+	e, err := s.admit(rt, req, ctx, class, now)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.enqueue(e, now)
+	depth := s.queued
+	s.mu.Unlock()
+	s.met.observeQueue(depth)
+	s.cond.Signal()
+	return &Pending{e: e}, nil
+}
+
+// Do is Submit + Wait: it blocks until the request completes (or is
+// rejected) and returns its Response. The returned error equals
+// Response.Err for admitted requests.
+func (s *Server) Do(ctx context.Context, req Request) (Response, error) {
+	p, err := s.Submit(ctx, req)
+	if err != nil {
+		return Response{Err: err}, err
+	}
+	resp := p.Wait()
+	return resp, resp.Err
+}
+
+// Pending is the handle of a submitted request.
+type Pending struct {
+	e *entry
+}
+
+// Done is closed when the request has completed (successfully, shed,
+// or failed).
+func (p *Pending) Done() <-chan struct{} { return p.e.done }
+
+// Wait blocks until completion and returns the Response.
+func (p *Pending) Wait() Response {
+	<-p.e.done
+	return p.e.resp
+}
+
+// Tick synchronously dispatches at most one ready batch on the calling
+// goroutine, returning whether one ran. It is the manual pump for
+// WithWorkers(0) harnesses: fake-clock simulations advance the clock
+// and Tick until the queue drains, observing every policy decision
+// deterministically. (Expired queued work is shed during the scan even
+// when no batch is ready.)
+func (s *Server) Tick() bool {
+	s.mu.Lock()
+	g, _ := s.popReady(s.cfg.clock.Now())
+	s.mu.Unlock()
+	if g == nil {
+		return false
+	}
+	s.runGroup(g)
+	return true
+}
+
+// worker is the dispatch loop: wait for a ready batch, run it, repeat
+// until the server is closed and drained.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		g := s.nextGroup()
+		if g == nil {
+			return
+		}
+		s.runGroup(g)
+	}
+}
+
+// nextGroup blocks until a batch is ready (or the server is closed and
+// empty). When every queued batch is merely unripe — still inside its
+// batch-delay window — a real-time timer re-checks at the soonest
+// ripen point.
+func (s *Server) nextGroup() *group {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		g, ripen := s.popReady(s.cfg.clock.Now())
+		if g != nil {
+			return g
+		}
+		if s.closed && s.queued == 0 {
+			return nil
+		}
+		if !ripen.IsZero() {
+			d := ripen.Sub(s.cfg.clock.Now())
+			if d <= 0 {
+				d = time.Millisecond
+			}
+			tm := time.AfterFunc(d, s.cond.Broadcast)
+			s.cond.Wait()
+			tm.Stop()
+			continue
+		}
+		s.cond.Wait()
+	}
+}
+
+// Snapshot assembles the server's full observable state.
+func (s *Server) Snapshot() Snapshot {
+	now := s.cfg.clock.Now()
+	s.mu.Lock()
+	queued, running := s.queued, s.running
+	tenants := make([]TenantSnapshot, 0, len(s.tenants))
+	for _, ts := range s.tenants {
+		tenants = append(tenants, ts.snapshot(now))
+	}
+	s.mu.Unlock()
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].Tenant < tenants[j].Tenant })
+
+	m := &s.met
+	m.gmu.Lock()
+	queueEWMA, latEWMA, gapEWMA := m.queueEWMA, m.latEWMA, m.gapEWMA
+	m.gmu.Unlock()
+	p50, p99 := m.percentiles()
+	snap := Snapshot{
+		Time:             now,
+		Uptime:           now.Sub(s.start),
+		Queued:           queued,
+		QueueDepth:       s.cfg.queueDepth,
+		Running:          running,
+		QueueEWMA:        queueEWMA,
+		Submitted:        m.submitted.Load(),
+		Admitted:         m.admitted.Load(),
+		RejectedClosed:   m.rejectedClosed.Load(),
+		RejectedExpired:  m.rejectedExpired.Load(),
+		RejectedFull:     m.rejectedFull.Load(),
+		RejectedInFlight: m.rejectedInFlight.Load(),
+		RejectedRate:     m.rejectedRate.Load(),
+		RejectedSteps:    m.rejectedSteps.Load(),
+		Completed:        m.completed.Load(),
+		Failed:           m.failed.Load(),
+		ShedQueued:       m.shedQueued.Load(),
+		ShedRunning:      m.shedRunning.Load(),
+		Degraded:         m.degraded.Load(),
+		Faults:           m.faults.Load(),
+		Batches:          m.batches.Load(),
+		BatchedCalls:     m.batchedCalls.Load(),
+		LatencyEWMA:      time.Duration(latEWMA),
+		P50:              p50,
+		P99:              p99,
+		Tenants:          tenants,
+	}
+	if gapEWMA > 0 {
+		snap.Throughput = float64(time.Second) / gapEWMA
+	}
+	return snap
+}

@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+)
+
+// StatusLine renders the server's vitals as one fixed-format line, in
+// the spirit of a build system's live status row — cheap enough to
+// print every refresh tick:
+//
+//	[q 3/256 r 4] ok 1204 err 2 rej 17 shed 5 deg 1 | 831.0 req/s | p50 1.2ms p99 8.9ms
+func (s *Server) StatusLine() string {
+	return s.Snapshot().StatusLine()
+}
+
+// StatusLine renders the snapshot as the server's one-line status row.
+func (sn Snapshot) StatusLine() string {
+	return fmt.Sprintf("[q %d/%d r %d] ok %d err %d rej %d shed %d deg %d | %s req/s | p50 %s p99 %s",
+		sn.Queued, sn.QueueDepth, sn.Running,
+		sn.Completed, sn.Failed, sn.Rejected(), sn.Shed(), sn.Degraded,
+		fmtRate(sn.Throughput), fmtDur(sn.P50), fmtDur(sn.P99))
+}
+
+// fmtRate formats a per-second rate compactly and deterministically.
+func fmtRate(r float64) string {
+	switch {
+	case r >= 1e6:
+		return fmt.Sprintf("%.1fM", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.1fk", r/1e3)
+	case r >= 100:
+		return fmt.Sprintf("%.0f", r)
+	default:
+		return fmt.Sprintf("%.1f", r)
+	}
+}
+
+// fmtDur formats a latency with unit-appropriate precision, avoiding
+// time.Duration.String's variable digit count.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
