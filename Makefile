@@ -2,10 +2,10 @@
 # PRs: it writes the full benchmark event stream (go test -json) to
 # BENCH_$(PR).json so successive PRs can be diffed.
 
-PR ?= 8
+PR ?= 10
 BENCHCOUNT ?= 5
 
-.PHONY: all build test test-race vet fmt lint chaos serve-sim bench bench-smoke
+.PHONY: all build test test-race vet fmt lint chaos serve-sim warm-sim bench bench-smoke
 
 all: build test
 
@@ -52,6 +52,18 @@ chaos:
 serve-sim:
 	go test -race -count=1 ./internal/cminor/serve/
 	go test -race -count=1 ./internal/cminor/ -run 'TestInstancePoolStress'
+
+# Warm-start suite under the race detector: the persist log's format,
+# validation and compaction tests, the tuner-level save -> restart ->
+# load simulations (zero re-exploration, byte-identical checkpoints,
+# stale-winner dethroning, every bad-log class degrading to a cold
+# start), and the server-lifecycle warm-start tests (Host loads, Close
+# flushes, corrupt logs heal).
+warm-sim:
+	go test -race -count=1 ./internal/cminor/autotune/persist/
+	go test -race -count=1 ./internal/cminor/autotune/ -run 'TestWarmStart'
+	go test -race -count=1 ./internal/cminor/serve/ -run 'TestServerWarmStart|TestFlushTuneCache'
+	go test -race -count=1 ./internal/cminor/ -run 'TestSourceHash'
 
 # Full benchmark sweep, recorded as JSON for cross-PR tracking. The
 # `-bench .` regex includes the *Parallel benchmarks (shared-Program

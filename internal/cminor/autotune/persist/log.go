@@ -1,0 +1,319 @@
+// Package persist is an append-only, versioned, load-validated record
+// log — the on-disk half of the warm-start story. The autotuner learns
+// a table per (function, input-class) site at run time; everything it
+// learns dies with the process unless it is written somewhere a
+// restarted server can trust. This package is that somewhere, shaped
+// after a build system's build log: a fixed header that names the
+// format version and a caller-supplied content key, followed by
+// checksummed keyed records, appended — never rewritten in place — and
+// compacted to the live set when dead (superseded) records outnumber
+// it.
+//
+// Trust is the whole design. A log is only usable when its header key
+// matches the caller's — the key is a content hash of whatever the
+// records describe (for the tuner: program source, variant grid, host
+// fingerprint), so an edited kernel, a changed grid, or a foreign
+// machine invalidates the file as a unit. Within a valid header, every
+// record carries its own checksum and declared length; a truncated
+// tail, a flipped byte, or a version skew is detected at load and
+// reported as a typed error — the caller falls back to a cold start
+// instead of routing traffic on poisoned state. Detection is strict by
+// design: these logs are small (one record per tuning site), so
+// re-learning is cheap and a partially-trusted log is worth less than
+// none.
+//
+// The format, little-endian throughout:
+//
+//	header:  magic "SOCTUNE\n" | version u32 | reserved u32 | key u64
+//	record:  keyLen u32 | payloadLen u32 | key | payload | fnv64a(key ∥ payload)
+//
+// Records are keyed: a later record with the same key supersedes an
+// earlier one (Load returns only the latest payload per key), which is
+// what lets writers checkpoint by blind append. Append self-compacts —
+// rewrites the file to exactly the live set, via temp file + rename —
+// once dead records outnumber live ones, so the file is always O(live
+// keys) within a factor of two.
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// logMagic opens every log file. The trailing newline means a log
+// concatenated into a text tool immediately looks binary, like ninja's
+// build-log signature line.
+const logMagic = "SOCTUNE\n"
+
+// logVersion is the current format version. Any other version in a
+// header is a skew: the reader does not attempt cross-version decoding
+// — the records are cheap to re-learn, so the policy is reject and
+// re-earn, never guess.
+const logVersion = 1
+
+// headerSize is the fixed byte length of the header.
+const headerSize = len(logMagic) + 4 + 4 + 8
+
+// maxRecordLen caps a single record's key or payload length. A
+// corrupted length field must not turn into a multi-gigabyte
+// allocation before the checksum ever gets a chance to object.
+const maxRecordLen = 1 << 20
+
+// compactMinRecords is the file size (in records) below which Append
+// never bothers compacting: tiny logs are not worth a rewrite.
+const compactMinRecords = 8
+
+// Validation failures Load reports; match with errors.Is. All of them
+// mean the same thing to a caller: the log is not trustworthy, start
+// cold. The distinctions exist for tests and diagnostics.
+var (
+	// ErrBadHeader: the file is shorter than a header or does not open
+	// with the magic — not a log at all, or one truncated to nothing.
+	ErrBadHeader = errors.New("persist: bad log header")
+	// ErrVersionSkew: the header names a format version this reader
+	// does not speak (an old binary reading a new log, or vice versa).
+	ErrVersionSkew = errors.New("persist: log version skew")
+	// ErrKeyMismatch: the header's content key is not the caller's —
+	// the log describes a different program, grid, or host.
+	ErrKeyMismatch = errors.New("persist: log content-key mismatch")
+	// ErrCorrupt: a record's declared length overruns the file
+	// (truncated tail) or its checksum does not match (bit rot, torn
+	// write).
+	ErrCorrupt = errors.New("persist: corrupt log record")
+)
+
+// Record is one keyed payload in the log. Key identifies what the
+// record describes (later records with the same key supersede earlier
+// ones); Payload is opaque to this package.
+type Record struct {
+	Key     string
+	Payload []byte
+}
+
+// sum64 is the record checksum: FNV-64a over key then payload.
+func sum64(key string, payload []byte) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write(payload)
+	return h.Sum64()
+}
+
+// Load reads and validates the log at path against the caller's
+// content key. On success it returns the live records — the latest
+// payload per key, ordered by each key's first appearance — and the
+// total record count on disk (live + dead), which Append uses as its
+// compaction signal and tests use to pin the O(live) bound.
+//
+// A missing file reports fs.ErrNotExist (a clean cold start, not
+// damage); any validation failure reports one of the typed errors
+// above. In every error case the returned records are nil: a log that
+// fails validation contributes nothing.
+func Load(path string, key uint64) (live []Record, total int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := checkHeader(data, key); err != nil {
+		return nil, 0, err
+	}
+	byKey := map[string]int{} // key -> index in live
+	off := headerSize
+	for off < len(data) {
+		rec, n, err := readRecord(data[off:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w (offset %d)", err, off)
+		}
+		off += n
+		total++
+		if i, seen := byKey[rec.Key]; seen {
+			live[i] = rec // superseded: keep first-appearance order
+			continue
+		}
+		byKey[rec.Key] = len(live)
+		live = append(live, rec)
+	}
+	return live, total, nil
+}
+
+// checkHeader validates the fixed header against the format and the
+// caller's content key.
+func checkHeader(data []byte, key uint64) error {
+	if len(data) < headerSize || string(data[:len(logMagic)]) != logMagic {
+		return ErrBadHeader
+	}
+	if v := binary.LittleEndian.Uint32(data[len(logMagic):]); v != logVersion {
+		return fmt.Errorf("%w: log v%d, reader v%d", ErrVersionSkew, v, logVersion)
+	}
+	if k := binary.LittleEndian.Uint64(data[len(logMagic)+8:]); k != key {
+		return fmt.Errorf("%w: log %016x, caller %016x", ErrKeyMismatch, k, key)
+	}
+	return nil
+}
+
+// readRecord decodes one record from the front of data, returning it
+// and the bytes consumed. Any shortfall or checksum mismatch is
+// ErrCorrupt — including a clean-looking prefix of a record that a
+// crash mid-append left behind.
+func readRecord(data []byte) (Record, int, error) {
+	if len(data) < 8 {
+		return Record{}, 0, ErrCorrupt
+	}
+	kn := int(binary.LittleEndian.Uint32(data))
+	pn := int(binary.LittleEndian.Uint32(data[4:]))
+	if kn > maxRecordLen || pn > maxRecordLen {
+		return Record{}, 0, ErrCorrupt
+	}
+	n := 8 + kn + pn + 8
+	if len(data) < n {
+		return Record{}, 0, ErrCorrupt
+	}
+	key := string(data[8 : 8+kn])
+	payload := append([]byte(nil), data[8+kn:8+kn+pn]...)
+	if sum := binary.LittleEndian.Uint64(data[8+kn+pn:]); sum != sum64(key, payload) {
+		return Record{}, 0, ErrCorrupt
+	}
+	return Record{Key: key, Payload: payload}, n, nil
+}
+
+// appendRecord serializes rec onto buf.
+func appendRecord(buf []byte, rec Record) []byte {
+	var lens [8]byte
+	binary.LittleEndian.PutUint32(lens[:], uint32(len(rec.Key)))
+	binary.LittleEndian.PutUint32(lens[4:], uint32(len(rec.Payload)))
+	buf = append(buf, lens[:]...)
+	buf = append(buf, rec.Key...)
+	buf = append(buf, rec.Payload...)
+	var sum [8]byte
+	binary.LittleEndian.PutUint64(sum[:], sum64(rec.Key, rec.Payload))
+	return append(buf, sum[:]...)
+}
+
+// header serializes the fixed header for key.
+func header(key uint64) []byte {
+	buf := make([]byte, 0, headerSize)
+	buf = append(buf, logMagic...)
+	var u [8]byte
+	binary.LittleEndian.PutUint32(u[:4], logVersion)
+	buf = append(buf, u[:]...) // version + reserved
+	binary.LittleEndian.PutUint64(u[:], key)
+	return append(buf, u[:]...)
+}
+
+// Append checkpoints recs into the log at path under the caller's
+// content key, creating the file (and its directory) if needed. The
+// normal path is a blind append — a checkpoint costs one write of the
+// changed records, never a rewrite of history. Two cases rewrite the
+// whole file instead, via temp file + rename so a crash leaves either
+// the old log or the new one, never a torn hybrid:
+//
+//   - the existing file fails validation (wrong key, version skew,
+//     corruption): its records are untrusted and dropped, and the file
+//     is reset to a fresh header plus recs — a bad log heals on the
+//     next checkpoint instead of wedging persistence forever;
+//   - compaction: once the file holds more dead (superseded) records
+//     than live ones — and at least compactMinRecords in total — it is
+//     rewritten to exactly the live set, so repeated checkpoints bound
+//     the file at O(live keys).
+func Append(path string, key uint64, recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	live, total, err := Load(path, key)
+	reset := false
+	switch {
+	case err == nil:
+	case errors.Is(err, os.ErrNotExist):
+		// No log yet: the rewrite path below creates it.
+		reset = true
+	default:
+		// Invalid log: drop its records and heal with a fresh one.
+		reset = true
+	}
+
+	// Merge recs over the live set (latest per key, stable order) to
+	// size the compaction decision — and to have the live set at hand
+	// if a rewrite is due.
+	byKey := map[string]int{}
+	for i, r := range live {
+		byKey[r.Key] = i
+	}
+	merged := append([]Record{}, live...)
+	for _, r := range recs {
+		if i, seen := byKey[r.Key]; seen {
+			merged[i] = r
+			continue
+		}
+		byKey[r.Key] = len(merged)
+		merged = append(merged, r)
+	}
+
+	newTotal := total + len(recs)
+	if dead := newTotal - len(merged); reset ||
+		(newTotal >= compactMinRecords && dead > len(merged)) {
+		return rewrite(path, key, merged)
+	}
+
+	buf := make([]byte, 0, 256)
+	for _, r := range recs {
+		buf = appendRecord(buf, r)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// rewrite replaces the log at path with header + recs atomically.
+func rewrite(path string, key uint64, recs []Record) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	buf := header(key)
+	for _, r := range recs {
+		buf = appendRecord(buf, r)
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Corrupt is a test hook: it flips one byte at off in the file at
+// path, producing exactly the damage Load must detect. Exported so
+// higher layers' cold-fallback tests do not re-derive the format.
+func Corrupt(path string, off int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if off < 0 || off >= len(data) {
+		return io.ErrUnexpectedEOF
+	}
+	data[off] ^= 0xff
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,249 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func logPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "tune.log")
+}
+
+func mustAppend(t *testing.T, path string, key uint64, recs ...Record) {
+	t.Helper()
+	if err := Append(path, key, recs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoundTrip pins the basic contract: records written are read back
+// verbatim, in first-appearance order, under the same content key.
+func TestRoundTrip(t *testing.T) {
+	path := logPath(t)
+	const key = 0xdeadbeefcafe
+	recs := []Record{
+		{Key: "probe\x004", Payload: []byte("alpha")},
+		{Key: "probe\x0011", Payload: []byte("beta")},
+		{Key: "", Payload: nil}, // empty key and payload are legal
+	}
+	mustAppend(t, path, key, recs...)
+	live, total, err := Load(path, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != len(recs) || len(live) != len(recs) {
+		t.Fatalf("total %d live %d, want %d/%d", total, len(live), len(recs), len(recs))
+	}
+	for i := range recs {
+		if live[i].Key != recs[i].Key || !bytes.Equal(live[i].Payload, recs[i].Payload) {
+			t.Fatalf("record %d: got %+v, want %+v", i, live[i], recs[i])
+		}
+	}
+}
+
+// TestSupersede pins keyed-record semantics: a later record with the
+// same key replaces the earlier payload in Load's live set, at the
+// key's first-appearance position, while the dead record still counts
+// toward total.
+func TestSupersede(t *testing.T) {
+	path := logPath(t)
+	const key = 7
+	mustAppend(t, path, key,
+		Record{Key: "a", Payload: []byte("v1")},
+		Record{Key: "b", Payload: []byte("w1")})
+	mustAppend(t, path, key, Record{Key: "a", Payload: []byte("v2")})
+	live, total, err := Load(path, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 3 {
+		t.Fatalf("total %d, want 3 (two live + one dead)", total)
+	}
+	if len(live) != 2 || live[0].Key != "a" || string(live[0].Payload) != "v2" ||
+		live[1].Key != "b" || string(live[1].Payload) != "w1" {
+		t.Fatalf("live set: %+v", live)
+	}
+}
+
+// TestLoadMissing pins the cold-start signal: a path that was never
+// written reports fs.ErrNotExist, not a validation error.
+func TestLoadMissing(t *testing.T) {
+	_, _, err := Load(logPath(t), 1)
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("want fs.ErrNotExist, got %v", err)
+	}
+}
+
+// TestLoadRejectsBadLogs drives every validation failure class and
+// asserts each maps to its typed error with no records returned: the
+// caller's contract is "any error means start cold".
+func TestLoadRejectsBadLogs(t *testing.T) {
+	const key = 42
+	fresh := func(t *testing.T) string {
+		path := logPath(t)
+		mustAppend(t, path, key,
+			Record{Key: "a", Payload: []byte("payload-a")},
+			Record{Key: "b", Payload: []byte("payload-b")})
+		return path
+	}
+
+	t.Run("not a log", func(t *testing.T) {
+		path := logPath(t)
+		if err := os.WriteFile(path, []byte("just some text, definitely no magic"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Load(path, key); !errors.Is(err, ErrBadHeader) {
+			t.Fatalf("want ErrBadHeader, got %v", err)
+		}
+	})
+	t.Run("truncated header", func(t *testing.T) {
+		path := fresh(t)
+		if err := os.Truncate(path, int64(headerSize-3)); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Load(path, key); !errors.Is(err, ErrBadHeader) {
+			t.Fatalf("want ErrBadHeader, got %v", err)
+		}
+	})
+	t.Run("version skew", func(t *testing.T) {
+		path := fresh(t)
+		// The version u32 sits right after the magic.
+		if err := Corrupt(path, len(logMagic)); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Load(path, key); !errors.Is(err, ErrVersionSkew) {
+			t.Fatalf("want ErrVersionSkew, got %v", err)
+		}
+	})
+	t.Run("key mismatch", func(t *testing.T) {
+		path := fresh(t)
+		if _, _, err := Load(path, key+1); !errors.Is(err, ErrKeyMismatch) {
+			t.Fatalf("want ErrKeyMismatch, got %v", err)
+		}
+	})
+	t.Run("flipped payload byte", func(t *testing.T) {
+		path := fresh(t)
+		// Into the first record's payload: past header and the 8-byte
+		// length prefix and the 1-byte key.
+		if err := Corrupt(path, headerSize+8+1+2); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Load(path, key); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("want ErrCorrupt, got %v", err)
+		}
+	})
+	t.Run("truncated tail", func(t *testing.T) {
+		path := fresh(t)
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Chop mid-way through the last record's checksum: the torn
+		// write a crash mid-append leaves behind.
+		if err := os.Truncate(path, info.Size()-5); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Load(path, key); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("want ErrCorrupt, got %v", err)
+		}
+	})
+	t.Run("oversized declared length", func(t *testing.T) {
+		path := fresh(t)
+		// Flip the high byte of the first record's keyLen u32: the
+		// declared length explodes past maxRecordLen and must be
+		// rejected before any allocation is attempted.
+		if err := Corrupt(path, headerSize+3); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Load(path, key); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("want ErrCorrupt, got %v", err)
+		}
+	})
+}
+
+// TestAppendHealsInvalidLog pins self-healing: an Append over a log
+// that fails validation (here: a corrupted byte) rewrites the file to a
+// fresh header plus the new records — persistence recovers on the next
+// checkpoint instead of wedging.
+func TestAppendHealsInvalidLog(t *testing.T) {
+	path := logPath(t)
+	const key = 9
+	mustAppend(t, path, key, Record{Key: "a", Payload: []byte("old")})
+	if err := Corrupt(path, headerSize+8+1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(path, key); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("setup: log should be corrupt, got %v", err)
+	}
+	mustAppend(t, path, key, Record{Key: "b", Payload: []byte("new")})
+	live, total, err := Load(path, key)
+	if err != nil {
+		t.Fatalf("healed log still invalid: %v", err)
+	}
+	// The untrusted pre-corruption record is gone; only the healing
+	// checkpoint's record survives.
+	if total != 1 || len(live) != 1 || live[0].Key != "b" {
+		t.Fatalf("healed log holds %d/%d records: %+v", len(live), total, live)
+	}
+}
+
+// TestCompaction pins the O(live) bound: checkpointing the same two
+// keys over and over must trigger a rewrite once dead records outnumber
+// live ones, keeping the on-disk record count bounded by a constant
+// factor of the live set — never growing with checkpoint count.
+func TestCompaction(t *testing.T) {
+	path := logPath(t)
+	const key = 123
+	recs := []Record{
+		{Key: "a", Payload: []byte("aaaa")},
+		{Key: "b", Payload: []byte("bbbb")},
+	}
+	maxTotal := 0
+	for i := 0; i < 20; i++ {
+		mustAppend(t, path, key, recs...)
+		live, total, err := Load(path, key)
+		if err != nil {
+			t.Fatalf("checkpoint %d: %v", i, err)
+		}
+		if len(live) != 2 {
+			t.Fatalf("checkpoint %d: %d live records, want 2", i, len(live))
+		}
+		if total > maxTotal {
+			maxTotal = total
+		}
+	}
+	// dead > live triggers the rewrite, so total can touch
+	// 2*live + one checkpoint's worth before snapping back to live.
+	if limit := 2*len(recs) + len(recs); maxTotal > limit {
+		t.Fatalf("log grew to %d records over 20 checkpoints; the compaction bound is %d", maxTotal, limit)
+	}
+	// And compaction actually happened: the final file is not 40 records.
+	if _, total, _ := Load(path, key); total >= 20*len(recs) {
+		t.Fatalf("final total %d: no compaction ever ran", total)
+	}
+}
+
+// TestTinyLogsSkipCompaction pins the churn guard: below
+// compactMinRecords the file is never rewritten, so single-site logs
+// just append.
+func TestTinyLogsSkipCompaction(t *testing.T) {
+	path := logPath(t)
+	const key = 5
+	for i := 0; i < 3; i++ {
+		mustAppend(t, path, key, Record{Key: "only", Payload: []byte{byte(i)}})
+	}
+	_, total, err := Load(path, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 records, 2 dead > 1 live, but 3 < compactMinRecords: no rewrite.
+	if total != 3 {
+		t.Fatalf("tiny log total %d, want 3 (compaction must not trigger below %d records)",
+			total, compactMinRecords)
+	}
+}

@@ -50,6 +50,12 @@ type armStats struct {
 	pulls   int64   // selections, counted at decision time
 	sampled bool    // at least one successful measurement recorded
 	ewma    float64 // nanoseconds, exponentially weighted
+	// distrust marks the estimate a prior rather than a measurement: a
+	// warm-started arm (tunecache.go) counts down this many fresh
+	// samples folded in at the boosted warmAlpha weight, so a stale
+	// persisted estimate is overwhelmed by live data within a couple of
+	// calls instead of anchoring the EWMA for hundreds.
+	distrust int
 	// Fault-containment accounting (see quarantine.go). The counters are
 	// cumulative for the site's lifetime — they survive drift reopens and
 	// quarantine lifts, unlike the cost estimate above.
@@ -66,6 +72,7 @@ type armStats struct {
 // keeping the cumulative fault accounting.
 func (a *armStats) resetEstimate() {
 	a.pulls, a.sampled, a.ewma = 0, false, 0
+	a.distrust = 0 // a fresh measure burst is trusted by construction
 }
 
 // update folds one cost measurement into the estimate. The first
@@ -87,6 +94,14 @@ func (a *armStats) update(alpha float64, quota int64, cost float64) {
 	default:
 		if lim := a.ewma * clipFactor; cost > lim {
 			cost = lim // winsorize heavy-tailed spikes (see clipFactor)
+		}
+		if a.distrust > 0 {
+			// Warm-started prior: fresh samples carry at least warmAlpha
+			// until the distrust budget is spent (see tunecache.go).
+			a.distrust--
+			if alpha < warmAlpha {
+				alpha = warmAlpha
+			}
 		}
 		a.ewma = alpha*cost + (1-alpha)*a.ewma
 	}

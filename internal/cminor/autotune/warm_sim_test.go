@@ -1,0 +1,374 @@
+package autotune
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	cm "socrates/internal/cminor"
+	"socrates/internal/cminor/autotune/persist"
+)
+
+// Warm-start simulations: SaveTo/LoadFrom are driven through the same
+// deterministic cost models as the convergence sims, so the restart
+// story is pinned exactly — a converged site must re-serve its winner
+// with zero additional measure-phase calls, a stale winner must be
+// dethroned through distrust decay plus drift, and every class of bad
+// log must degrade to an ordinary cold start.
+
+// warmCost is the base cost model the warm-start sims share: O3 wins.
+var warmCost = map[string]time.Duration{
+	"O0": 400 * time.Microsecond, "O1": 300 * time.Microsecond,
+	"O2": 120 * time.Microsecond, "O3": 90 * time.Microsecond,
+	"bytecode": 140 * time.Microsecond,
+}
+
+// warmTuner builds a tuner in the warm-sim configuration: default grid,
+// two-sample quotas, zero residual exploration (so any post-load pull
+// of a non-best arm is test-visible), fixed seed.
+func warmTuner(t *testing.T, sampler Sampler, opts ...Option) *AutoTuner {
+	t.Helper()
+	base := []Option{
+		WithGrid(DefaultGrid()...),
+		WithSampler(sampler),
+		WithMinSamples(2),
+		WithEpsilon(0),
+		WithSeed(7),
+	}
+	tn, err := New(simProgram(t), append(base, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tn
+}
+
+func drive(t *testing.T, tn *AutoTuner, n int, args []any) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := tn.Call("probe", args...); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// convergedLog runs a fresh tuner to convergence and checkpoints it,
+// returning the log path for load-side tests.
+func convergedLog(t *testing.T, path string) {
+	t.Helper()
+	tn := warmTuner(t, &simSampler{cost: flatCost(warmCost)})
+	drive(t, tn, 40, simArgs(16))
+	if got := bestSpec(t, tn, "probe", SizeClass(simArgs(16))); got.String() != "O3" {
+		t.Fatalf("setup converged to %v, want O3", got)
+	}
+	if err := tn.SaveTo(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWarmStartZeroReexploration is the tentpole pin: a restarted tuner
+// seeded from a converged site's checkpoint serves the learned winner
+// from its very first call, with zero additional measure-phase pulls on
+// any arm — the exploration cost is paid once per program, not once per
+// process.
+func TestWarmStartZeroReexploration(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tune.log")
+	convergedLog(t, path)
+
+	args := simArgs(16)
+	class := SizeClass(args)
+	tn := warmTuner(t, &simSampler{cost: flatCost(warmCost)})
+	warmed, err := tn.LoadFrom(path)
+	if err != nil || warmed != 1 {
+		t.Fatalf("LoadFrom = (%d, %v), want (1, nil)", warmed, err)
+	}
+	// Converged before the first call: the winner is already routable.
+	if got, ok := tn.Best("probe", class); !ok || got.String() != "O3" {
+		t.Fatalf("post-load Best = (%v, %v), want (O3, true)", got, ok)
+	}
+	loaded := siteReport(t, tn, "probe", class)
+	if !loaded.Converged {
+		t.Fatal("loaded site is not converged")
+	}
+
+	const exploit = 30
+	drive(t, tn, exploit, args)
+	after := siteReport(t, tn, "probe", class)
+	if got := bestSpec(t, tn, "probe", class); got.String() != "O3" {
+		t.Fatalf("warm winner drifted to %v with an unchanged workload", got)
+	}
+	if after.Reopens != loaded.Reopens {
+		t.Fatalf("unchanged workload reopened exploration: %d -> %d", loaded.Reopens, after.Reopens)
+	}
+	// Every post-restart call rode the winner: non-best arms gained no
+	// pulls at all, and the winner took all of them.
+	for i, arm := range after.Arms {
+		if arm.Spec.String() == "O3" {
+			if want := loaded.Arms[i].Pulls + exploit; arm.Pulls != want {
+				t.Fatalf("winner pulls %d, want %d", arm.Pulls, want)
+			}
+			continue
+		}
+		if arm.Pulls != loaded.Arms[i].Pulls {
+			t.Fatalf("arm %v re-measured after warm start: %d -> %d pulls",
+				arm.Spec, loaded.Arms[i].Pulls, arm.Pulls)
+		}
+	}
+}
+
+// TestWarmStartSaveSkipsUnconverged: a site still in its measure phase
+// has only a half-earned table — SaveTo must not checkpoint it, and
+// with nothing converged it must not even create the file.
+func TestWarmStartSaveSkipsUnconverged(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tune.log")
+	tn := warmTuner(t, &simSampler{cost: flatCost(warmCost)})
+	drive(t, tn, 3, simArgs(16)) // 3 of the 10-call measure budget
+	if err := tn.SaveTo(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("unconverged save created a log: %v", err)
+	}
+}
+
+// TestWarmStartDeterminism pins the restart story end to end as a pure
+// function: two identical runs write byte-identical logs, and two
+// identical load-then-drive continuations report identical state.
+func TestWarmStartDeterminism(t *testing.T) {
+	small, large := simArgs(8), simArgs(1024)
+	save := func(path string) {
+		tn := warmTuner(t, &simSampler{cost: flatCost(warmCost)})
+		for i := 0; i < 30; i++ {
+			drive(t, tn, 1, small)
+			drive(t, tn, 1, large)
+		}
+		if err := tn.SaveTo(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := t.TempDir()
+	p1, p2 := filepath.Join(dir, "a.log"), filepath.Join(dir, "b.log")
+	save(p1)
+	save(p2)
+	b1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("identical runs wrote different logs (%d vs %d bytes)", len(b1), len(b2))
+	}
+
+	restart := func() []SiteReport {
+		tn := warmTuner(t, &simSampler{cost: flatCost(warmCost)})
+		if warmed, err := tn.LoadFrom(p1); err != nil || warmed != 2 {
+			t.Fatalf("LoadFrom = (%d, %v), want (2, nil)", warmed, err)
+		}
+		for i := 0; i < 10; i++ {
+			drive(t, tn, 1, small)
+			drive(t, tn, 1, large)
+		}
+		return tn.Snapshot()
+	}
+	a, b := restart(), restart()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("warm restarts diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestWarmStartStaleWinnerDethroned: the world moved while the process
+// was down — the persisted winner O3 now costs 5x. The loaded estimate
+// is a distrusted prior: fresh samples fold in at warmAlpha, the very
+// first measurements drag the estimate past the drift band, exploration
+// reopens, and the tuner settles on the new true best.
+func TestWarmStartStaleWinnerDethroned(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tune.log")
+	convergedLog(t, path)
+
+	stale := &simSampler{cost: func(call int64, spec VariantSpec, _ int) time.Duration {
+		c := warmCost[spec.String()]
+		if spec.String() == "O3" {
+			c *= 5 // the persisted winner degraded across the restart
+		}
+		return time.Duration(float64(c) * jitter(call))
+	}}
+	tn := warmTuner(t, stale, WithDriftFactor(0.5))
+	if warmed, err := tn.LoadFrom(path); err != nil || warmed != 1 {
+		t.Fatalf("LoadFrom = (%d, %v), want (1, nil)", warmed, err)
+	}
+	args := simArgs(16)
+	class := SizeClass(args)
+	drive(t, tn, 60, args)
+	rep := siteReport(t, tn, "probe", class)
+	if rep.Reopens < 1 {
+		t.Fatal("stale warm-started winner never tripped the drift detector")
+	}
+	if got := bestSpec(t, tn, "probe", class); got.String() != "O2" {
+		t.Fatalf("post-dethroning winner is %v, want O2", got)
+	}
+}
+
+// TestWarmStartBadLogColdStart drives all four bad-log classes —
+// corrupt byte, truncated tail, version skew, content-key mismatch —
+// and asserts each degrades to a cold start: LoadFrom reports the typed
+// error, seeds nothing, and the untouched tuner still converges
+// normally by ordinary exploration. A missing log is not even an error.
+func TestWarmStartBadLogColdStart(t *testing.T) {
+	src := filepath.Join(t.TempDir(), "src.log")
+	convergedLog(t, src)
+	pristine, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		mangle  func(t *testing.T, path string)
+		wantErr error
+	}{
+		{"corrupt record byte", func(t *testing.T, path string) {
+			// Flip one payload byte: past the 24-byte header and into
+			// the first record's body.
+			if err := persist.Corrupt(path, 24+12); err != nil {
+				t.Fatal(err)
+			}
+		}, persist.ErrCorrupt},
+		{"truncated tail", func(t *testing.T, path string) {
+			if err := os.Truncate(path, int64(len(pristine)-7)); err != nil {
+				t.Fatal(err)
+			}
+		}, persist.ErrCorrupt},
+		{"version skew", func(t *testing.T, path string) {
+			// The version field follows the 8-byte magic.
+			if err := persist.Corrupt(path, 8); err != nil {
+				t.Fatal(err)
+			}
+		}, persist.ErrVersionSkew},
+	}
+	args := simArgs(16)
+	class := SizeClass(args)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "tune.log")
+			if err := os.WriteFile(path, pristine, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			tc.mangle(t, path)
+			tn := warmTuner(t, &simSampler{cost: flatCost(warmCost)})
+			warmed, err := tn.LoadFrom(path)
+			if !errors.Is(err, tc.wantErr) || warmed != 0 {
+				t.Fatalf("LoadFrom = (%d, %v), want (0, %v)", warmed, err, tc.wantErr)
+			}
+			if _, ok := tn.Best("probe", class); ok {
+				t.Fatal("a rejected log seeded a winner")
+			}
+			// Cold start proceeds exactly as if no log existed.
+			drive(t, tn, 40, args)
+			if got := bestSpec(t, tn, "probe", class); got.String() != "O3" {
+				t.Fatalf("cold fallback converged to %v, want O3", got)
+			}
+		})
+	}
+
+	t.Run("key mismatch", func(t *testing.T) {
+		// A tuner over a different variant grid has a different content
+		// key: the same file must be rejected as a unit.
+		tn, err := New(simProgram(t),
+			WithGrid(DefaultGrid()[:4]...),
+			WithSampler(&simSampler{cost: flatCost(warmCost)}),
+			WithMinSamples(2), WithEpsilon(0), WithSeed(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		warmed, err := tn.LoadFrom(src)
+		if !errors.Is(err, persist.ErrKeyMismatch) || warmed != 0 {
+			t.Fatalf("LoadFrom = (%d, %v), want (0, ErrKeyMismatch)", warmed, err)
+		}
+	})
+
+	t.Run("missing log", func(t *testing.T) {
+		tn := warmTuner(t, &simSampler{cost: flatCost(warmCost)})
+		warmed, err := tn.LoadFrom(filepath.Join(t.TempDir(), "never-written.log"))
+		if err != nil || warmed != 0 {
+			t.Fatalf("LoadFrom = (%d, %v), want (0, nil)", warmed, err)
+		}
+	})
+}
+
+// TestWarmStartSkipsLiveSites: a record never overwrites a site that
+// has already begun learning in this process — live measurements beat
+// persisted ones.
+func TestWarmStartSkipsLiveSites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tune.log")
+	convergedLog(t, path) // persisted winner: O3
+
+	// In this process the workload is different: O2 wins.
+	shifted := map[string]time.Duration{
+		"O0": 400 * time.Microsecond, "O1": 300 * time.Microsecond,
+		"O2": 60 * time.Microsecond, "O3": 90 * time.Microsecond,
+		"bytecode": 140 * time.Microsecond,
+	}
+	tn := warmTuner(t, &simSampler{cost: flatCost(shifted)})
+	args := simArgs(16)
+	drive(t, tn, 3, args) // the site is live before the load
+	warmed, err := tn.LoadFrom(path)
+	if err != nil || warmed != 0 {
+		t.Fatalf("LoadFrom = (%d, %v), want (0, nil): live site must be skipped", warmed, err)
+	}
+	drive(t, tn, 40, args)
+	if got := bestSpec(t, tn, "probe", SizeClass(args)); got.String() != "O2" {
+		t.Fatalf("live learning was clobbered by the log: winner %v, want O2", got)
+	}
+}
+
+// TestWarmStartQuarantineRoundTrip: trust state survives the restart —
+// an arm quarantined before the save is still quarantined (with its
+// fault accounting) after the load, and the seeded site is converged
+// without it.
+func TestWarmStartQuarantineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tune.log")
+	clk := &fakeClock{t: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)}
+	inj := cm.NewScriptedInjector(cm.FaultRule{
+		Backend: cm.BackendCompiled, Opt: cm.O2, Fn: "probe",
+		Call: 1, Kind: cm.FaultPanic, Point: cm.FaultAtExit,
+	})
+	tn := warmTuner(t, &simSampler{cost: flatCost(warmCost)},
+		WithClock(clk),
+		WithFaultInjector(inj),
+		WithQuarantineBackoff(time.Hour, time.Hour))
+	args := simArgs(16)
+	class := SizeClass(args)
+	drive(t, tn, 40, args)
+	before := siteReport(t, tn, "probe", class)
+	if before.QuarantinedArms != 1 {
+		t.Fatalf("setup: %d quarantined arms, want 1 (the injected O2 fault)", before.QuarantinedArms)
+	}
+	if err := tn.SaveTo(path); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := warmTuner(t, &simSampler{cost: flatCost(warmCost)}, WithClock(clk))
+	if warmed, err := warm.LoadFrom(path); err != nil || warmed != 1 {
+		t.Fatalf("LoadFrom = (%d, %v), want (1, nil)", warmed, err)
+	}
+	after := siteReport(t, warm, "probe", class)
+	if !after.Converged || after.QuarantinedArms != 1 {
+		t.Fatalf("loaded site: converged=%v quarantined=%d, want true/1", after.Converged, after.QuarantinedArms)
+	}
+	for i, arm := range after.Arms {
+		want := before.Arms[i]
+		if arm.Quarantined != want.Quarantined || arm.Quarantines != want.Quarantines ||
+			arm.Faults != want.Faults {
+			t.Fatalf("arm %v trust state did not round-trip:\n got %+v\nwant %+v", arm.Spec, arm, want)
+		}
+	}
+	if got := bestSpec(t, warm, "probe", class); got.String() != "O3" {
+		t.Fatalf("loaded winner %v, want O3", got)
+	}
+}

@@ -1,0 +1,77 @@
+package cminor
+
+import "testing"
+
+// TestSourceHash pins the content-identity contract the persistence
+// layers key on: formatting-only differences hash identically (the hash
+// is over the canonical re-print, and the file name plays no part),
+// any semantic edit changes the hash, and every variant of one program
+// shares its base's hash.
+func TestSourceHash(t *testing.T) {
+	const src = `
+double sq(double x) { return x * x; }
+double probe(int n, double a[n]) {
+  int i;
+  double s;
+  s = 0.0;
+  for (i = 0; i < n; i++) {
+    s = s + sq(a[i]);
+  }
+  return s;
+}
+`
+	// The same program, reformatted and commented.
+	const reformatted = `
+/* squares, but prettier */
+double sq( double x ) {
+	return x*x;   // the whole function
+}
+double probe(int n, double a[n]) {
+	int i; double s;
+	s = 0.0;
+	for (i = 0; i < n; i++) { s = s + sq(a[i]); }
+	return s;
+}
+`
+	// One semantic edit: the accumulator seeds at 1.0.
+	const edited = `
+double sq(double x) { return x * x; }
+double probe(int n, double a[n]) {
+  int i;
+  double s;
+  s = 1.0;
+  for (i = 0; i < n; i++) {
+    s = s + sq(a[i]);
+  }
+  return s;
+}
+`
+	compile := func(name, text string) *Program {
+		p, err := Compile(MustParse(name, text))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	base := compile("kernel.c", src)
+	h := base.SourceHash()
+	if h == 0 {
+		t.Fatal("zero hash")
+	}
+	if got := compile("kernel.c", src).SourceHash(); got != h {
+		t.Fatalf("recompile changed the hash: %016x vs %016x", got, h)
+	}
+	if got := compile("renamed.c", reformatted).SourceHash(); got != h {
+		t.Fatalf("formatting/name changed the hash: %016x vs %016x", got, h)
+	}
+	if got := compile("kernel.c", edited).SourceHash(); got == h {
+		t.Fatal("a semantic edit kept the hash")
+	}
+	v, err := base.Variant(WithOptLevel(O3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.SourceHash(); got != h {
+		t.Fatalf("variant hash %016x diverged from base %016x: the hash names the source, not the knobs", got, h)
+	}
+}

@@ -103,6 +103,15 @@ func TestFormatHelpers(t *testing.T) {
 		831:     "831",
 		1500:    "1.5k",
 		2340000: "2.3M",
+		// Rounding boundaries: each value sits where the next-lower
+		// format's rounding overflows its width, so it must already be
+		// promoted (thresholds at 1e3/1e6/100 printed 999.96 as "1000",
+		// 99.96 as "100.0", 999960 as "1000.0k").
+		99.96:  "100",
+		999.4:  "999",
+		999.96: "1.0k",
+		999940: "999.9k",
+		999960: "1.0M",
 	}
 	for in, want := range rates {
 		if got := fmtRate(in); got != want {

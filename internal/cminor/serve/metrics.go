@@ -42,16 +42,27 @@ type metrics struct {
 	queueEWMA float64 // entries, sampled at every submit and dispatch
 	latEWMA   float64 // ns, completed calls only
 	gapEWMA   float64 // ns between consecutive completions
-	lastDone  time.Time
-	ring      [latRingSize]int64 // ns, most recent completions
-	ringN     int64              // total latencies ever recorded
+	// The seeded flags mark a gauge's EWMA as holding at least one real
+	// observation. The first observation seeds the gauge directly
+	// (smoothing a new sample against an arbitrary zero start would just
+	// slow convergence) — and "first" must be tracked explicitly: zero
+	// is a legitimate first observation (an empty queue, a zero-duration
+	// call under a fake clock, back-to-back completions at one instant),
+	// so a `== 0` sentinel would leave the gauge unseeded and let the
+	// NEXT sample jump in unsmoothed.
+	queueSeeded bool
+	latSeeded   bool
+	gapSeeded   bool
+	lastDone    time.Time
+	ring        [latRingSize]int64 // ns, most recent completions
+	ringN       int64              // total latencies ever recorded
 }
 
 // observeQueue folds the current queue depth into its EWMA gauge.
 func (m *metrics) observeQueue(depth int) {
 	m.gmu.Lock()
-	if m.queueEWMA == 0 {
-		m.queueEWMA = float64(depth)
+	if !m.queueSeeded {
+		m.queueEWMA, m.queueSeeded = float64(depth), true
 	} else {
 		m.queueEWMA = metricsAlpha*float64(depth) + (1-metricsAlpha)*m.queueEWMA
 	}
@@ -65,16 +76,19 @@ func (m *metrics) observeDone(now time.Time, latency time.Duration) {
 	m.gmu.Lock()
 	m.ring[m.ringN%latRingSize] = int64(latency)
 	m.ringN++
-	if m.latEWMA == 0 {
-		m.latEWMA = ns
+	if !m.latSeeded {
+		m.latEWMA, m.latSeeded = ns, true
 	} else {
 		m.latEWMA = metricsAlpha*ns + (1-metricsAlpha)*m.latEWMA
 	}
 	if !m.lastDone.IsZero() {
-		if gap := now.Sub(m.lastDone); gap > 0 {
+		// A zero gap (two completions at the same clock instant) is a
+		// real observation of maximal burst throughput; it folds in like
+		// any other. The Throughput derivation guards the division.
+		if gap := now.Sub(m.lastDone); gap >= 0 {
 			g := float64(gap)
-			if m.gapEWMA == 0 {
-				m.gapEWMA = g
+			if !m.gapSeeded {
+				m.gapEWMA, m.gapSeeded = g, true
 			} else {
 				m.gapEWMA = metricsAlpha*g + (1-metricsAlpha)*m.gapEWMA
 			}

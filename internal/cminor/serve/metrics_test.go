@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestGaugesSeedOnZeroFirstObservation is the regression pin for the
+// seeded-flag fix: zero is a legitimate first observation for every
+// EWMA gauge (an empty queue, a zero-latency call under a fake clock,
+// two completions at one instant). A gauge seeded with zero must SMOOTH
+// the next sample, not treat it as the first — the old `== 0` sentinel
+// let the second observation jump in at full weight.
+func TestGaugesSeedOnZeroFirstObservation(t *testing.T) {
+	t.Run("queue depth", func(t *testing.T) {
+		m := &metrics{}
+		m.observeQueue(0)
+		if !m.queueSeeded || m.queueEWMA != 0 {
+			t.Fatalf("after observing depth 0: seeded=%v ewma=%v", m.queueSeeded, m.queueEWMA)
+		}
+		m.observeQueue(10)
+		if want := metricsAlpha * 10; m.queueEWMA != want {
+			t.Fatalf("queue EWMA %v, want %v (the zero seed must smooth the next sample)",
+				m.queueEWMA, want)
+		}
+	})
+	t.Run("latency", func(t *testing.T) {
+		m := &metrics{}
+		now := simStart()
+		m.observeDone(now, 0)
+		if !m.latSeeded || m.latEWMA != 0 {
+			t.Fatalf("after a zero-latency completion: seeded=%v ewma=%v", m.latSeeded, m.latEWMA)
+		}
+		m.observeDone(now.Add(time.Millisecond), 10*time.Millisecond)
+		if want := metricsAlpha * float64(10*time.Millisecond); m.latEWMA != want {
+			t.Fatalf("latency EWMA %v, want %v", m.latEWMA, want)
+		}
+	})
+	t.Run("completion gap", func(t *testing.T) {
+		m := &metrics{}
+		now := simStart()
+		m.observeDone(now, time.Millisecond) // seeds lastDone, no gap yet
+		m.observeDone(now, time.Millisecond) // zero gap: a real observation
+		if !m.gapSeeded || m.gapEWMA != 0 {
+			t.Fatalf("after a zero gap: seeded=%v ewma=%v", m.gapSeeded, m.gapEWMA)
+		}
+		m.observeDone(now.Add(10*time.Millisecond), time.Millisecond)
+		if want := metricsAlpha * float64(10*time.Millisecond); m.gapEWMA != want {
+			t.Fatalf("gap EWMA %v, want %v", m.gapEWMA, want)
+		}
+	})
+}
+
+// TestPercentilesRingWrap pins the latency window once more completions
+// than latRingSize have been recorded: the percentiles must cover
+// exactly the last latRingSize completions — newest overwrite oldest —
+// not a stale mix.
+func TestPercentilesRingWrap(t *testing.T) {
+	now := simStart()
+
+	// 512 fast completions, then 100 slow ones: the window holds
+	// 412 x 1ms + 100 x 100ms. Sorted, index 256 (p50) is still fast,
+	// index 506 (p99) is slow.
+	m := &metrics{}
+	for i := 0; i < latRingSize; i++ {
+		m.observeDone(now, time.Millisecond)
+	}
+	for i := 0; i < 100; i++ {
+		m.observeDone(now, 100*time.Millisecond)
+	}
+	p50, p99 := m.percentiles()
+	if p50 != time.Millisecond {
+		t.Fatalf("p50 = %v, want 1ms (412 of the last 512 are fast)", p50)
+	}
+	if p99 != 100*time.Millisecond {
+		t.Fatalf("p99 = %v, want 100ms (the slow burst is inside the window)", p99)
+	}
+
+	// The mirror image: 100 slow completions first, then 512 fast ones.
+	// The slow batch has aged out of the window entirely — if p99 still
+	// sees it, the window is not the LAST latRingSize completions.
+	m = &metrics{}
+	for i := 0; i < 100; i++ {
+		m.observeDone(now, 100*time.Millisecond)
+	}
+	for i := 0; i < latRingSize; i++ {
+		m.observeDone(now, time.Millisecond)
+	}
+	p50, p99 = m.percentiles()
+	if p50 != time.Millisecond || p99 != time.Millisecond {
+		t.Fatalf("p50=%v p99=%v, want 1ms/1ms: the pre-wrap slow batch must have aged out", p50, p99)
+	}
+}

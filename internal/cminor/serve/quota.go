@@ -63,7 +63,12 @@ func newBucket(rate, burst float64, now time.Time) bucket {
 }
 
 // refill credits tokens for the time elapsed since the last refill,
-// capped at the burst size.
+// capped at the burst size. The watermark only advances when credit is
+// actually granted: if the clock reads earlier than the last refill (a
+// backwards wall-clock step — NTP correction, VM migration), moving
+// `last` back would let the tenant re-earn tokens for an interval it
+// already banked once the clock catches up. The regression instead
+// freezes refills until real time passes the old watermark.
 func (b *bucket) refill(now time.Time) {
 	if b.rate == 0 {
 		return
@@ -73,8 +78,8 @@ func (b *bucket) refill(now time.Time) {
 		if b.tokens > b.burst {
 			b.tokens = b.burst
 		}
+		b.last = now
 	}
-	b.last = now
 }
 
 // take withdraws n tokens if the full amount is available (pre-paid

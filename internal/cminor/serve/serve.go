@@ -34,6 +34,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -111,6 +112,7 @@ type serverConfig struct {
 	clock         Clock
 	defaultQuota  TenantQuota
 	quotas        map[string]TenantQuota
+	tuneCacheDir  string
 }
 
 // Option configures New.
@@ -157,12 +159,33 @@ func WithTenantQuota(tenant string, q TenantQuota) Option {
 	}
 }
 
+// WithTuneCache enables the persistent tuning cache under dir (default:
+// disabled). Each hosted program's tuner gets its own log file, named
+// by the tuner's content key (autotune.CacheKey: program source ×
+// variant grid × host fingerprint), so an edited kernel or a changed
+// grid can never warm-start from stale tables. Host seeds the tuner
+// from its log — converged sites serve their first post-restart call
+// straight from the learned winner, zero re-exploration — and Close
+// flushes the learned state back; FlushTuneCache checkpoints it on
+// demand without closing. A missing, corrupt, truncated, or
+// wrong-keyed log degrades to an ordinary cold start: persistence is
+// strictly best-effort and can never poison routing.
+func WithTuneCache(dir string) Option {
+	return func(c *serverConfig) { c.tuneCacheDir = dir }
+}
+
 // route is one hosted function: the program it lives in and the tuner
 // that routes its calls.
 type route struct {
 	fn    string
 	prog  *cm.Program
 	tuner *autotune.AutoTuner
+}
+
+// tunerCache is one hosted tuner's persistent-cache binding.
+type tunerCache struct {
+	tuner *autotune.AutoTuner
+	path  string
 }
 
 // Server is the multi-tenant serving front end. Create with New, host
@@ -182,6 +205,9 @@ type Server struct {
 	started bool
 	closed  bool
 	start   time.Time
+	// caches pairs each hosted tuner with its tune-cache log path
+	// (WithTuneCache): loaded by Host, flushed by Close/FlushTuneCache.
+	caches []tunerCache
 
 	wg  sync.WaitGroup
 	met metrics
@@ -245,6 +271,17 @@ func (s *Server) Host(prog *cm.Program, opts ...autotune.Option) (*autotune.Auto
 	if err != nil {
 		return nil, err
 	}
+	// Warm-start before the tuner is routable: with a tune cache
+	// configured, converged sites from the previous process seed the
+	// tuner here, so the very first dispatched request already exploits
+	// the learned winner. Load failures (missing, corrupt, wrong-keyed
+	// logs) fall back to an ordinary cold start — never an error.
+	cachePath := ""
+	if s.cfg.tuneCacheDir != "" {
+		cachePath = filepath.Join(s.cfg.tuneCacheDir,
+			fmt.Sprintf("tune-%016x.log", tn.CacheKey()))
+		tn.LoadFrom(cachePath)
+	}
 	fns := prog.Funcs()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -259,7 +296,28 @@ func (s *Server) Host(prog *cm.Program, opts ...autotune.Option) (*autotune.Auto
 	for _, fn := range fns {
 		s.routes[fn] = &route{fn: fn, prog: prog, tuner: tn}
 	}
+	if cachePath != "" {
+		s.caches = append(s.caches, tunerCache{tuner: tn, path: cachePath})
+	}
 	return tn, nil
+}
+
+// FlushTuneCache checkpoints every hosted tuner's learned tables into
+// its tune-cache log (WithTuneCache). Close flushes automatically; this
+// is the on-demand hook for long-lived servers that want periodic
+// checkpoints so a crash loses minutes of learning, not days. A no-op
+// without a configured cache.
+func (s *Server) FlushTuneCache() error {
+	s.mu.Lock()
+	caches := append([]tunerCache{}, s.caches...)
+	s.mu.Unlock()
+	var errs []error
+	for _, c := range caches {
+		if err := c.tuner.SaveTo(c.path); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // Tuner returns the AutoTuner routing the named function, for metrics
@@ -292,7 +350,10 @@ func (s *Server) Start() {
 // Close stops admission immediately (submissions return ErrClosed),
 // lets the workers drain everything already queued — batch-delay holds
 // are flushed — and waits for them to exit. With WithWorkers(0) the
-// queue is drained synchronously by Close itself.
+// queue is drained synchronously by Close itself. With a tune cache
+// configured (WithTuneCache), the drained tuners' learned tables are
+// flushed to disk last, so the next process warm-starts from
+// everything this one learned.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -307,6 +368,9 @@ func (s *Server) Close() {
 	// No workers to drain for us: serve what is left here.
 	for s.Tick() {
 	}
+	// Best-effort flush: a full disk must not turn shutdown into a
+	// failure — the worst case is the next start pays cold exploration.
+	s.FlushTuneCache()
 }
 
 // Submit enqueues one request, returning immediately with a Pending

@@ -23,13 +23,20 @@ func (sn Snapshot) StatusLine() string {
 }
 
 // fmtRate formats a per-second rate compactly and deterministically.
+// Branch thresholds sit where the NEXT-lower format's rounding first
+// overflows its width, not at round powers of ten: %.1f prints 99.95 as
+// "100.0" (five chars, and a duplicate of the %.0f spelling), %.0f
+// prints 999.5 as "1000", and %.1fk prints 999950/1e3 as "1000.0k" —
+// so each such value must already have been promoted to the wider
+// unit. Thresholds at 1e3/1e6 misformat exactly that rounding band
+// (e.g. 999.96 → "1000" instead of "1.0k").
 func fmtRate(r float64) string {
 	switch {
-	case r >= 1e6:
+	case r >= 999950:
 		return fmt.Sprintf("%.1fM", r/1e6)
-	case r >= 1e3:
+	case r >= 999.5:
 		return fmt.Sprintf("%.1fk", r/1e3)
-	case r >= 100:
+	case r >= 99.95:
 		return fmt.Sprintf("%.0f", r)
 	default:
 		return fmt.Sprintf("%.1f", r)
